@@ -1,0 +1,87 @@
+// Ablation: the two tuning knobs the paper fixes by fiat.
+//
+//  * epsilon (horizontal-sliver half-width): the paper reports that 0.1
+//    "suffices"; we sweep {0.05, 0.1, 0.2} and report HS sizes and the
+//    easy-anycast delivery rate.
+//  * cushion (verification slack): Figures 5-6 evaluate {0, 0.1}; we
+//    sweep 0..0.25 and print the full attack-surface vs false-rejection
+//    trade-off curve.
+#include "bench/fig_common.hpp"
+
+#include <array>
+
+namespace {
+
+using namespace avmem;
+using namespace avmem::benchfig;
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::fromEnv();
+  printHeader("Ablation", "epsilon and cushion sweeps",
+              "paper fixes eps=0.1 and evaluates cushion in {0, 0.1}",
+              env);
+
+  // --- epsilon sweep --------------------------------------------------------
+  std::cout << "# epsilon sweep\n";
+  stats::TablePrinter epsTable(
+      {"epsilon", "hs_mean", "vs_mean", "easy_delivered"});
+  for (const double eps : std::array<double, 3>{0.05, 0.1, 0.2}) {
+    auto cfg = defaultConfig(env);
+    cfg.protocol.epsilon = eps;
+    auto system = buildWarmSystem(env, cfg);
+
+    double hs = 0.0;
+    double vs = 0.0;
+    std::size_t n = 0;
+    for (const auto i : system->onlineNodes()) {
+      hs += static_cast<double>(system->node(i).horizontalSliver().size());
+      vs += static_cast<double>(system->node(i).verticalSliver().size());
+      ++n;
+    }
+    if (n > 0) {
+      hs /= static_cast<double>(n);
+      vs /= static_cast<double>(n);
+    }
+
+    core::AnycastParams params;
+    params.range = core::AvRange::closed(0.85, 0.95);
+    params.strategy = core::AnycastStrategy::kRetriedGreedy;
+    const auto batch = system->runAnycastBatch(core::AvBand::mid(), params,
+                                               env.messagesPerPoint);
+    epsTable.addRow({eps, hs, vs, batch.deliveredFraction()});
+  }
+  epsTable.print(std::cout, 3);
+
+  // --- cushion sweep --------------------------------------------------------
+  std::cout << "# cushion sweep (single warmed system)\n";
+  auto system = buildWarmSystem(env, defaultConfig(env));
+  stats::TablePrinter cushionTable(
+      {"cushion", "flood_acceptance", "legit_rejection"});
+  for (const double cushion :
+       std::array<double, 6>{0.0, 0.05, 0.1, 0.15, 0.2, 0.25}) {
+    system->setCushion(cushion);
+    double accept = 0.0;
+    double reject = 0.0;
+    std::size_t nA = 0;
+    std::size_t nR = 0;
+    for (const auto i : system->onlineNodes()) {
+      const auto atk = core::floodingAttack(*system, i);
+      if (atk.targets > 0) {
+        accept += atk.acceptFraction();
+        ++nA;
+      }
+      const auto legit = core::legitimateTraffic(*system, i);
+      if (legit.targets > 0) {
+        reject += legit.rejectFraction();
+        ++nR;
+      }
+    }
+    cushionTable.addRow({cushion, nA ? accept / nA : 0.0,
+                         nR ? reject / nR : 0.0});
+  }
+  system->setCushion(0.0);
+  cushionTable.print(std::cout, 4);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 11: multicast worst-case latency CDF (time of the last node to
+// receive each multicast), for the five paper scenarios.
+//
+// Paper: flooding stays below ~300 ms; gossip below ~5.5 s (fanout 5,
+// Ng 2, 1 s gossip period).
+#include "bench/fig_common.hpp"
+#include "bench/multicast_scenarios.hpp"
+
+int main() {
+  using namespace avmem;
+  using namespace avmem::benchfig;
+
+  const BenchEnv env = BenchEnv::fromEnv();
+  auto system = buildWarmSystem(env, defaultConfig(env));
+
+  printHeader("Figure 11", "multicast last-delivery latency CDF",
+              "flooding < ~300 ms; gossip < ~5.5 s",
+              env);
+
+  const std::size_t perScenario = env.messagesPerPoint / 2;
+  for (const auto& scenario : paperMulticastScenarios()) {
+    stats::EmpiricalCdf latency;
+    runScenario(*system, scenario, perScenario,
+                [&latency](const core::MulticastResult& r) {
+                  if (r.delivered > 0) {
+                    latency.add(r.lastDeliveryLatency.toMillis());
+                  }
+                });
+    stats::printCdfCompact(std::cout, scenario.name + " (last delivery, ms)",
+                           latency, 10);
+  }
+  return 0;
+}

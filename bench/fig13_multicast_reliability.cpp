@@ -1,0 +1,37 @@
+// Figure 13: multicast reliability CDF — fraction of the in-range online
+// population that received each multicast, for the five paper scenarios.
+//
+// Paper: flooding above ~90%; gossip reaches ~70% (cheaper but less
+// reliable — "bandwidth savings due to gossip may be worthwhile to
+// applications less concerned about reliability").
+#include "bench/fig_common.hpp"
+#include "bench/multicast_scenarios.hpp"
+
+int main() {
+  using namespace avmem;
+  using namespace avmem::benchfig;
+
+  const BenchEnv env = BenchEnv::fromEnv();
+  auto system = buildWarmSystem(env, defaultConfig(env));
+
+  printHeader("Figure 13", "multicast reliability CDF",
+              "flooding > ~90%; gossip ~70%",
+              env);
+
+  const std::size_t perScenario = env.messagesPerPoint / 2;
+  for (const auto& scenario : paperMulticastScenarios()) {
+    stats::EmpiricalCdf reliability;
+    runScenario(*system, scenario, perScenario,
+                [&reliability](const core::MulticastResult& r) {
+                  if (r.eligible > 0) reliability.add(r.reliability());
+                });
+    stats::printCdfCompact(std::cout, scenario.name + " (reliability)",
+                           reliability, 10);
+    if (!reliability.empty()) {
+      std::cout << "# " << scenario.name << ": median "
+                << reliability.median() << ", mean " << reliability.mean()
+                << "\n";
+    }
+  }
+  return 0;
+}

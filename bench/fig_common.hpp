@@ -1,0 +1,89 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every bench regenerates one figure of the paper's Section 4 at the
+// paper's scale (1442 hosts, 7-day synthetic Overnet trace, 24 h warm-up,
+// AVMON availability backend) and prints the same rows/series the figure
+// plots. Set AVMEM_FAST=1 for a reduced smoke configuration.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/attack.hpp"
+#include "core/simulation.hpp"
+#include "stats/series_printer.hpp"
+
+namespace avmem::benchfig {
+
+/// Scale knobs resolved from the environment.
+struct BenchEnv {
+  std::uint32_t hosts = 1442;
+  sim::SimDuration warmup = sim::SimDuration::hours(24);
+  std::size_t messagesPerPoint = 50;  ///< paper: 5 runs x 50 messages
+  std::size_t runsPerPoint = 5;
+  std::uint64_t seed = 20070101;      ///< Middleware 2007 vintage
+
+  [[nodiscard]] static BenchEnv fromEnv() {
+    BenchEnv env;
+    if (const char* fast = std::getenv("AVMEM_FAST");
+        fast != nullptr && fast[0] == '1') {
+      env.hosts = 400;
+      env.warmup = sim::SimDuration::hours(4);
+      env.messagesPerPoint = 20;
+      env.runsPerPoint = 2;
+    }
+    if (const char* seed = std::getenv("AVMEM_SEED"); seed != nullptr) {
+      env.seed = std::strtoull(seed, nullptr, 10);
+    }
+    return env;
+  }
+};
+
+/// The paper's default experimental system.
+[[nodiscard]] inline core::SimulationConfig defaultConfig(
+    const BenchEnv& env,
+    core::PredicateChoice predicate = core::PredicateChoice::kPaperDefault) {
+  core::SimulationConfig cfg;
+  cfg.trace.hosts = env.hosts;
+  cfg.backend = core::AvailabilityBackend::kAvmon;
+  cfg.predicate = predicate;
+  cfg.seed = env.seed;
+  return cfg;
+}
+
+/// Build and warm the system, logging progress to stderr (stdout carries
+/// only the figure data).
+[[nodiscard]] inline std::unique_ptr<core::AvmemSimulation> buildWarmSystem(
+    const BenchEnv& env, const core::SimulationConfig& cfg) {
+  std::cerr << "building system: " << cfg.trace.hosts
+            << " hosts, seed " << cfg.seed << "\n";
+  auto system = std::make_unique<core::AvmemSimulation>(cfg);
+  std::cerr << "predicate: " << system->predicate().name() << "\n";
+  std::cerr << "warming up " << env.warmup.toString() << " simulated...\n";
+  system->warmup(env.warmup);
+  std::cerr << "online nodes: " << system->onlineNodes().size() << " / "
+            << system->nodeCount() << "\n";
+  return system;
+}
+
+/// Standard figure header on stdout.
+inline void printHeader(const std::string& figure, const std::string& title,
+                        const std::string& paperExpectation,
+                        const BenchEnv& env) {
+  std::cout << "# " << figure << ": " << title << "\n";
+  std::cout << "# paper: " << paperExpectation << "\n";
+  std::cout << "# config: hosts=" << env.hosts
+            << " warmup=" << env.warmup.toString() << " seed=" << env.seed
+            << "\n";
+}
+
+/// The paper's initiator bands.
+[[nodiscard]] inline core::AvBand bandByName(const std::string& name) {
+  if (name == "LOW") return core::AvBand::low();
+  if (name == "MID") return core::AvBand::mid();
+  return core::AvBand::high();
+}
+
+}  // namespace avmem::benchfig

@@ -1,0 +1,79 @@
+// Micro-benchmarks: digest and pair-hash throughput (google-benchmark).
+//
+// The pair hash sits on the hot path of Discovery (one evaluation per
+// coarse-view entry per protocol period per node) — these numbers bound
+// the predicate-evaluation budget quoted in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "hash/md5.hpp"
+#include "hash/pair_hash.hpp"
+#include "hash/sha1.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace avmem;
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashing::sha1(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(12)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Md5(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashing::md5(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(12)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PairHash(benchmark::State& state) {
+  const hashing::PairHasher hasher(
+      state.range(0) == 0 ? hashing::PairHashAlgorithm::kSha1
+                          : hashing::PairHashAlgorithm::kMd5);
+  const std::array<std::uint8_t, 6> a{10, 0, 0, 1, 4, 210};
+  const std::array<std::uint8_t, 6> b{10, 0, 0, 2, 8, 161};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher(a, b));
+  }
+}
+BENCHMARK(BM_PairHash)->Arg(0)->Arg(1);
+
+void BM_CachedPairHash(benchmark::State& state) {
+  hashing::CachingPairHasher cache;
+  // Pre-warm a realistic working set (every pair a 1442-node world's
+  // discovery would evaluate against one node).
+  std::vector<std::array<std::uint8_t, 6>> ids;
+  sim::Rng rng(4);
+  for (int i = 0; i < 1442; ++i) {
+    ids.push_back({static_cast<std::uint8_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next())});
+  }
+  for (std::uint64_t i = 1; i < ids.size(); ++i) {
+    (void)cache.hash(i, ids[0], ids[i]);
+  }
+  std::uint64_t k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.hash(k, ids[0], ids[k]));
+    k = (k % (ids.size() - 1)) + 1;
+  }
+}
+BENCHMARK(BM_CachedPairHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

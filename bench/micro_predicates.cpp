@@ -1,0 +1,73 @@
+// Micro-benchmarks: predicate evaluation throughput per sub-predicate
+// family, and the PDF-derived quantities behind them.
+#include <benchmark/benchmark.h>
+
+#include "core/predicates.hpp"
+#include "hash/pair_hash.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace avmem;
+using namespace avmem::core;
+
+AvailabilityPdf benchPdf() {
+  stats::Histogram h(0.0, 1.0, 20);
+  sim::Rng rng(9);
+  for (int i = 0; i < 1442; ++i) h.add(rng.uniform() * rng.uniform());
+  return AvailabilityPdf(std::move(h), 600.0);
+}
+
+void BM_PredicateF(benchmark::State& state) {
+  const auto pdf = benchPdf();
+  const AvmemPredicate pred = [&]() -> AvmemPredicate {
+    switch (state.range(0)) {
+      case 1:
+        return makeRandomOverlayPredicate(pdf, 0.02);
+      case 2:
+        return makeLogDecreasingPredicate(pdf);
+      case 3:
+        return makeConstantSliversPredicate(pdf, 10.0, 10.0);
+      default:
+        return makePaperDefaultPredicate(pdf);
+    }
+  }();
+  sim::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.f(rng.uniform(), rng.uniform()));
+  }
+}
+BENCHMARK(BM_PredicateF)
+    ->Arg(0)   // paper default (I.B + II.B)
+    ->Arg(1)   // consistent-random baseline
+    ->Arg(2)   // log-decreasing (I.C + II.B)
+    ->Arg(3);  // constant slivers (I.A + II.A)
+
+void BM_NStarMinAv(benchmark::State& state) {
+  const auto pdf = benchPdf();
+  sim::Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdf.nStarMinAv(rng.uniform(), 0.1));
+  }
+}
+BENCHMARK(BM_NStarMinAv);
+
+void BM_FullMembershipEvaluation(benchmark::State& state) {
+  // The complete Discovery-path check: pair hash + predicate threshold.
+  const auto pdf = benchPdf();
+  const auto pred = makePaperDefaultPredicate(pdf);
+  const avmem::hashing::PairHasher hasher;
+  const std::array<std::uint8_t, 6> a{10, 0, 0, 1, 4, 210};
+  const std::array<std::uint8_t, 6> b{10, 0, 0, 2, 8, 161};
+  sim::Rng rng(13);
+  for (auto _ : state) {
+    const double h = hasher(a, b);
+    benchmark::DoNotOptimize(
+        pred.evaluate(h, rng.uniform(), rng.uniform()));
+  }
+}
+BENCHMARK(BM_FullMembershipEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Fingerprinting an availability range via range-multicast.
+//
+// The paper's motivating management task for range operations: "one could
+// find out the average bandwidth of nodes below a certain availability,
+// in order to correlate the two facts."
+//
+// Each node carries a synthetic attribute (here: access bandwidth, drawn
+// correlated with availability). A management station range-multicasts a
+// probe into successive availability bands; nodes that receive the probe
+// report their attribute, and the station prints the per-band aggregate —
+// a decentralized "fingerprint" of the population.
+//
+//   ./range_fingerprint [hosts]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avmem;
+
+  core::SimulationConfig config;
+  config.trace.hosts = argc > 1 ? static_cast<std::uint32_t>(
+                                      std::strtoul(argv[1], nullptr, 10))
+                                : 600;
+  config.seed = 7777;
+
+  core::AvmemSimulation system(config);
+  std::cout << "Warming up the overlay (8 simulated hours)...\n";
+  system.warmup(sim::SimDuration::hours(8));
+
+  // Synthetic per-node attribute: access bandwidth in Mbps, correlated
+  // with availability (well-provisioned hosts stay online longer) plus
+  // deterministic per-node jitter.
+  std::vector<double> bandwidthMbps(system.nodeCount());
+  sim::Rng attrRng = system.forkRng("bandwidth-attribute");
+  for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+    bandwidthMbps[i] =
+        5.0 + 95.0 * system.trace().fullAvailability(i) + attrRng.uniform(-4.0, 4.0);
+  }
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "\n  availability band   probed  mean bandwidth (Mbps)\n";
+
+  for (double lo = 0.1; lo < 0.9; lo += 0.2) {
+    const core::AvRange band = core::AvRange::closed(lo, lo + 0.2);
+    const auto station = system.pickInitiator(core::AvBand::high());
+    if (!station) break;
+
+    core::MulticastParams params;
+    params.range = band;
+    params.mode = core::MulticastMode::kFlood;
+    const auto r = system.runMulticast(*station, params);
+
+    // Nodes that received the probe report their attribute (the report
+    // path back to the station is modeled as exact and out-of-band).
+    stats::Summary reports;
+    for (const net::NodeIndex i : r.deliveredNodes) {
+      reports.add(bandwidthMbps[i]);
+    }
+    std::cout << "  [" << band.lo << ", " << band.hi << "]    "
+              << std::setw(5) << r.delivered << "/" << r.eligible
+              << "   " << std::setw(8)
+              << (reports.count() ? reports.mean() : 0.0) << "\n";
+  }
+
+  std::cout << "\nThe fingerprint exposes the bandwidth/availability "
+               "correlation without any central inventory.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Supernode selection via threshold-anycast.
+//
+// The paper's first motivating control operation: "selecting a supernode
+// in a p2p system with a minimal threshold availability" (akin to
+// FastTrack-style supernode election [13, 14, 16]). Any node can issue a
+// threshold-anycast for availability > b; the node the anycast lands on
+// is a verified-high-availability peer, discovered in a handful of hops
+// without any central directory.
+//
+//   ./supernode_selection [hosts] [threshold]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avmem;
+
+  core::SimulationConfig config;
+  config.trace.hosts = argc > 1 ? static_cast<std::uint32_t>(
+                                      std::strtoul(argv[1], nullptr, 10))
+                                : 600;
+  const double threshold = argc > 2 ? std::strtod(argv[2], nullptr) : 0.9;
+  config.seed = 99;
+
+  core::AvmemSimulation system(config);
+  std::cout << "Warming up the overlay (8 simulated hours)...\n";
+  system.warmup(sim::SimDuration::hours(8));
+
+  // Elect one supernode per requester: ordinary peers (any availability)
+  // issue threshold-anycasts for av > threshold.
+  core::AnycastParams params;
+  params.range = core::AvRange::threshold(threshold);
+  params.strategy = core::AnycastStrategy::kRetriedGreedy;
+  params.slivers = core::SliverSet::kHsAndVs;
+
+  std::cout << "Electing supernodes with availability > " << threshold
+            << ":\n";
+  std::cout << std::fixed << std::setprecision(3);
+  int elected = 0;
+  for (int k = 0; k < 10; ++k) {
+    const auto requester = system.pickInitiator(core::AvBand{0.0, 1.0});
+    if (!requester) break;
+    const auto r = system.runAnycast(*requester, params);
+    if (r.outcome == core::AnycastOutcome::kDelivered) {
+      ++elected;
+      std::cout << "  requester " << *requester << " (av "
+                << system.trueAvailability(*requester) << ") -> supernode "
+                << r.deliveredTo << " (av "
+                << system.trueAvailability(r.deliveredTo) << ", "
+                << r.hops << " hops, " << r.latency.toMillis() << " ms)\n";
+    } else {
+      std::cout << "  requester " << *requester << ": "
+                << toString(r.outcome) << "\n";
+    }
+  }
+  std::cout << elected << "/10 elections succeeded.\n";
+
+  // The selection is *verifiable*: the supernode's availability claim can
+  // be checked by any third party via the monitoring service, and the
+  // path used only consistent-predicate edges.
+  return elected > 0 ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Aged availability estimation.
+//
+// The paper defines the monitoring service as returning "the long-term
+// availability (e.g., raw, or aged) of any given node" (Section 3.1).
+// *Raw* availability is the lifetime fraction of uptime (what
+// AvmonSystem's counters produce). *Aged* availability exponentially
+// discounts the past, tracking recent behaviour — AVMON [17] supports
+// both. This wrapper turns any epoch-sampled estimate into an aged one:
+//
+//   aged_e = alpha * online_e + (1 - alpha) * aged_{e-1}
+//
+// computed lazily per (querier-visible) target over the churn trace, with
+// the same incremental-advance trick as AvmonSystem.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "avmon/availability_service.hpp"
+#include "sim/simulator.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace avmem::avmon {
+
+/// Epoch-resolution aged availability over the ground-truth trace.
+///
+/// Models a monitoring overlay whose sampling is dense enough that the
+/// aging recursion dominates the estimate (the AVMON paper's aged mode).
+/// For sampling-limited estimates, compose AvmonSystem counters instead.
+class AgedAvailabilityService final : public AvailabilityService {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest epoch. Small alpha ~ long
+  /// memory (approaches raw availability); large alpha ~ recent-behaviour
+  /// tracker.
+  AgedAvailabilityService(const trace::ChurnTrace& trace,
+                          const sim::Simulator& sim, double alpha)
+      : trace_(trace), sim_(sim), alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument(
+          "AgedAvailabilityService: alpha must be in (0, 1]");
+    }
+  }
+
+  [[nodiscard]] std::optional<double> query(NodeIndex /*querier*/,
+                                            NodeIndex target) override {
+    const std::size_t nowEpoch = trace_.epochAt(sim_.now());
+    if (nowEpoch == 0) return std::nullopt;  // no completed epoch yet
+    Cell& cell = cells_[target];
+    while (cell.nextEpoch < nowEpoch) {
+      const bool on = trace_.onlineInEpoch(target, cell.nextEpoch++);
+      if (!cell.initialized) {
+        cell.aged = on ? 1.0 : 0.0;
+        cell.initialized = true;
+      } else {
+        cell.aged = alpha_ * (on ? 1.0 : 0.0) + (1.0 - alpha_) * cell.aged;
+      }
+    }
+    if (!cell.initialized) return std::nullopt;
+    return cell.aged;
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  struct Cell {
+    std::size_t nextEpoch = 0;
+    double aged = 0.0;
+    bool initialized = false;
+  };
+
+  const trace::ChurnTrace& trace_;
+  const sim::Simulator& sim_;
+  double alpha_;
+  std::unordered_map<NodeIndex, Cell> cells_;
+};
+
+/// The centralized alternative the paper mentions ("an availability
+/// monitoring service, e.g., centralized, or distributed such as
+/// AVMON"): a crawler snapshots every host's raw availability once per
+/// `snapshotPeriod`, and all queries are answered from the latest
+/// snapshot. Perfectly consistent across queriers, stale by up to one
+/// period — the opposite trade-off from AVMON.
+class CentralizedAvailabilityService final : public AvailabilityService {
+ public:
+  CentralizedAvailabilityService(const trace::ChurnTrace& trace,
+                                 const sim::Simulator& sim,
+                                 sim::SimDuration snapshotPeriod)
+      : trace_(trace), sim_(sim), period_(snapshotPeriod) {
+    if (snapshotPeriod <= sim::SimDuration::zero()) {
+      throw std::invalid_argument(
+          "CentralizedAvailabilityService: non-positive period");
+    }
+  }
+
+  [[nodiscard]] std::optional<double> query(NodeIndex /*querier*/,
+                                            NodeIndex target) override {
+    // Quantize "now" down to the latest crawl instant.
+    const std::int64_t periods = sim_.now().toMicros() / period_.toMicros();
+    if (periods == 0) return std::nullopt;  // crawler has not run yet
+    const auto crawlAt = sim::SimTime::micros(periods * period_.toMicros());
+    return trace_.availabilityAt(target, crawlAt);
+  }
+
+  [[nodiscard]] sim::SimDuration snapshotPeriod() const noexcept {
+    return period_;
+  }
+
+ private:
+  const trace::ChurnTrace& trace_;
+  const sim::Simulator& sim_;
+  sim::SimDuration period_;
+};
+
+}  // namespace avmem::avmon

@@ -1,0 +1,68 @@
+#include "avmon/avmon_monitors.hpp"
+
+#include <stdexcept>
+
+namespace avmem::avmon {
+
+AvmonSystem::AvmonSystem(const trace::ChurnTrace& trace,
+                         const sim::Simulator& sim,
+                         const std::vector<core::NodeId>& ids,
+                         const AvmonConfig& config)
+    : trace_(trace),
+      sim_(sim),
+      ids_(ids),
+      hasher_(config.hashAlgorithm),
+      threshold_(config.expectedMonitorsPerTarget /
+                 static_cast<double>(trace.hostCount())) {
+  if (ids_.size() != trace_.hostCount()) {
+    throw std::invalid_argument("AvmonSystem: ids/trace size mismatch");
+  }
+  const auto n = static_cast<NodeIndex>(trace_.hostCount());
+  monitors_.resize(n);
+  // The monitor relation is consistent, so it can be materialized up front;
+  // O(N^2) hashes once per simulation (~2M for the paper's 1442 hosts).
+  for (NodeIndex target = 0; target < n; ++target) {
+    for (NodeIndex m = 0; m < n; ++m) {
+      if (m == target) continue;
+      if (hasher_(ids_[m].bytes(), ids_[target].bytes()) <= threshold_) {
+        monitors_[target].push_back(m);
+      }
+    }
+  }
+}
+
+bool AvmonSystem::isMonitor(NodeIndex m, NodeIndex target) const {
+  if (m == target) return false;
+  return hasher_(ids_.at(m).bytes(), ids_.at(target).bytes()) <= threshold_;
+}
+
+const AvmonSystem::EstimateCell& AvmonSystem::monitorCounters(
+    NodeIndex m, NodeIndex target) const {
+  // Lazy evaluation over the trace: monitor m samples `target` once per
+  // epoch in which m itself is online, up to the current epoch (exclusive
+  // of the still-running epoch, which the monitor has not finished
+  // observing). Counters advance incrementally per (m, target) pair, so
+  // repeated queries are amortized O(1) per epoch.
+  const std::size_t nowEpoch = trace_.epochAt(sim_.now());
+  auto& cell = estimates_[core::orderedPairKey(m, target)];
+  while (cell.nextEpoch < nowEpoch) {
+    const std::size_t e = cell.nextEpoch++;
+    if (!trace_.onlineInEpoch(m, e)) continue;
+    ++cell.samples;
+    if (trace_.onlineInEpoch(target, e)) ++cell.up;
+  }
+  return cell;
+}
+
+std::optional<double> AvmonSystem::monitorEstimate(NodeIndex m,
+                                                   NodeIndex target) const {
+  const EstimateCell& cell = monitorCounters(m, target);
+  if (cell.samples == 0) return std::nullopt;
+  return static_cast<double>(cell.up) / static_cast<double>(cell.samples);
+}
+
+bool AvmonSystem::monitorOnline(NodeIndex m) const {
+  return trace_.onlineAt(m, sim_.now());
+}
+
+}  // namespace avmem::avmon

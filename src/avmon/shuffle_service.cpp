@@ -1,0 +1,174 @@
+#include "avmon/shuffle_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace avmem::avmon {
+
+using net::NodeIndex;
+
+ShuffleService::ShuffleService(sim::Simulator& sim, net::Network& network,
+                               std::size_t nodeCount,
+                               const ShuffleConfig& config, sim::Rng rng)
+    : sim_(sim),
+      network_(network),
+      viewSize_(config.viewSize),
+      gossipLength_(config.gossipLength),
+      period_(config.period),
+      rng_(rng),
+      views_(nodeCount) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("ShuffleService: need at least two nodes");
+  }
+  if (viewSize_ == 0) {
+    viewSize_ = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(nodeCount))));
+  }
+  gossipLength_ = std::min(gossipLength_, viewSize_);
+}
+
+void ShuffleService::start() {
+  const auto n = static_cast<NodeIndex>(views_.size());
+  // Bootstrap: uniformly random distinct peers per node.
+  for (NodeIndex i = 0; i < n; ++i) {
+    auto& view = views_[i];
+    view.clear();
+    while (view.size() < viewSize_) {
+      const auto peer = static_cast<NodeIndex>(rng_.below(n));
+      if (peer == i) continue;
+      if (std::find(view.begin(), view.end(), peer) != view.end()) continue;
+      view.push_back(peer);
+    }
+  }
+
+  tasks_.clear();
+  tasks_.reserve(n);
+  for (NodeIndex i = 0; i < n; ++i) {
+    auto task = std::make_unique<sim::PeriodicTask>();
+    // Stagger the first firing uniformly inside one period.
+    const auto offset = sim::SimDuration::micros(static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(period_.toMicros()))));
+    task->start(sim_, sim_.now() + offset, period_,
+                [this, i] { initiateShuffle(i); });
+    tasks_.push_back(std::move(task));
+  }
+}
+
+std::vector<NodeIndex> ShuffleService::sampleSubset(NodeIndex n) {
+  auto& view = views_[n];
+  std::vector<NodeIndex> subset;
+  if (view.empty()) {
+    subset.push_back(n);
+    return subset;
+  }
+  // Partial Fisher-Yates: the first (gossipLength - 1) positions become a
+  // uniform sample of the view.
+  const std::size_t take = std::min(gossipLength_ - 1, view.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng_.index(view.size() - i);
+    std::swap(view[i], view[j]);
+  }
+  subset.assign(view.begin(),
+                view.begin() + static_cast<std::ptrdiff_t>(take));
+  subset.push_back(n);  // CYCLON: the initiator advertises itself
+  return subset;
+}
+
+void ShuffleService::initiateShuffle(NodeIndex initiator) {
+  if (!network_.isOnline(initiator)) return;  // offline nodes do not gossip
+  auto& view = views_[initiator];
+  if (view.empty()) return;
+
+  const NodeIndex partner = view[rng_.index(view.size())];
+  auto offered = sampleSubset(initiator);
+
+  const std::size_t bytes =
+      offered.size() * net::Network::kMembershipEntryBytes;
+  // CYCLON failure handling: an unresponsive shuffle partner is evicted
+  // from the view, which continuously purges dead entries and biases the
+  // view toward live nodes.
+  network_.sendWithAck(
+      partner,
+      [this, partner, initiator, offered = std::move(offered)](
+          sim::SimTime) mutable {
+        handleRequest(partner, initiator, std::move(offered));
+        return true;
+      },
+      /*onAck=*/[] {},
+      /*onTimeout=*/
+      [this, initiator, partner] { evictEntry(initiator, partner); },
+      /*timeout=*/sim::SimDuration::millis(500), bytes);
+}
+
+void ShuffleService::handleRequest(NodeIndex responder, NodeIndex initiator,
+                                   std::vector<NodeIndex> offered) {
+  // Respond with our own subset, then merge theirs.
+  auto reply = sampleSubset(responder);
+  // The responder does not advertise itself in the reply (CYCLON replies
+  // carry only view entries); drop the self-entry appended by sampleSubset.
+  if (!reply.empty() && reply.back() == responder) reply.pop_back();
+
+  merge(responder, offered, reply);
+  ++completedShuffles_;
+
+  const std::size_t bytes = reply.size() * net::Network::kMembershipEntryBytes;
+  network_.send(
+      initiator,
+      [this, initiator, responder, reply = std::move(reply),
+       offered = std::move(offered)](sim::SimTime) mutable {
+        handleReply(initiator, responder, std::move(reply),
+                    std::move(offered));
+      },
+      bytes);
+}
+
+void ShuffleService::handleReply(NodeIndex initiator, NodeIndex /*responder*/,
+                                 std::vector<NodeIndex> offered,
+                                 std::vector<NodeIndex> sent) {
+  // `sent` still carries the initiator self-entry; it was never part of the
+  // initiator's view, so drop it before treating it as replaceable slots.
+  if (!sent.empty() && sent.back() == initiator) sent.pop_back();
+  merge(initiator, offered, sent);
+}
+
+void ShuffleService::merge(NodeIndex n,
+                           const std::vector<NodeIndex>& offered,
+                           const std::vector<NodeIndex>& sentAway) {
+  auto& view = views_[n];
+  std::size_t replaceCursor = 0;
+
+  for (const NodeIndex candidate : offered) {
+    if (candidate == n) continue;
+    if (std::find(view.begin(), view.end(), candidate) != view.end()) {
+      continue;
+    }
+    if (view.size() < viewSize_) {
+      view.push_back(candidate);
+      continue;
+    }
+    // Prefer overwriting entries we just shipped to the partner (they live
+    // on in the partner's view), then fall back to random eviction.
+    bool replaced = false;
+    while (replaceCursor < sentAway.size()) {
+      const auto it =
+          std::find(view.begin(), view.end(), sentAway[replaceCursor]);
+      ++replaceCursor;
+      if (it != view.end()) {
+        *it = candidate;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      view[rng_.index(view.size())] = candidate;
+    }
+  }
+}
+
+void ShuffleService::evictEntry(NodeIndex n, NodeIndex dead) {
+  auto& view = views_[n];
+  view.erase(std::remove(view.begin(), view.end(), dead), view.end());
+}
+
+}  // namespace avmem::avmon

@@ -1,0 +1,100 @@
+// Decentralized shuffling partial-membership service (coarse views).
+//
+// AVMEM's Discovery sub-protocol scans "a weakly consistent list that is
+// incomplete, and may even contain stale entries ... continuously changed
+// by the underlying shuffling protocol, so that given a node y and node x
+// that stay long enough in the system, the entry for node y will eventually
+// appear in the shuffled list at node x" (paper Section 3.1). The paper
+// uses AVMON's coarse-view mechanism, which behaves like SCAMP/CYCLON.
+//
+// We implement a CYCLON-style exchange: every shuffle period an online node
+// picks a random view entry, and the two swap random subsets of their views
+// over the simulated network. Unreachable partners (offline at delivery)
+// are evicted, which purges dead entries over time. View size defaults to
+// ~sqrt(N), the optimum derived in the paper (v + N/v minimized).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmem::avmon {
+
+/// Configuration for the shuffle service.
+struct ShuffleConfig {
+  /// Per-node view capacity; 0 means "use ceil(sqrt(N))" (paper optimum).
+  std::size_t viewSize = 0;
+  /// Entries exchanged per shuffle.
+  std::size_t gossipLength = 8;
+  /// How often each online node initiates a shuffle.
+  sim::SimDuration period = sim::SimDuration::minutes(1);
+};
+
+/// Owns every node's coarse view and drives the periodic exchanges.
+class ShuffleService {
+ public:
+  ShuffleService(sim::Simulator& sim, net::Network& network,
+                 std::size_t nodeCount, const ShuffleConfig& config,
+                 sim::Rng rng);
+
+  ShuffleService(const ShuffleService&) = delete;
+  ShuffleService& operator=(const ShuffleService&) = delete;
+
+  /// Seed all views with uniformly random peers (the bootstrap a deployed
+  /// system gets from its rendezvous server) and start the periodic
+  /// shuffling. Nodes initiate at staggered offsets inside one period so
+  /// the event load is spread.
+  void start();
+
+  /// The current coarse view of node `n` (may contain stale entries;
+  /// never contains `n` itself).
+  [[nodiscard]] const std::vector<net::NodeIndex>& viewOf(
+      net::NodeIndex n) const {
+    return views_.at(n);
+  }
+
+  [[nodiscard]] std::size_t viewCapacity() const noexcept { return viewSize_; }
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return views_.size();
+  }
+
+  /// Total shuffle exchanges completed (responder side reached).
+  [[nodiscard]] std::uint64_t completedShuffles() const noexcept {
+    return completedShuffles_;
+  }
+
+ private:
+  void initiateShuffle(net::NodeIndex initiator);
+  void handleRequest(net::NodeIndex responder, net::NodeIndex initiator,
+                     std::vector<net::NodeIndex> offered);
+  void handleReply(net::NodeIndex initiator, net::NodeIndex responder,
+                   std::vector<net::NodeIndex> offered,
+                   std::vector<net::NodeIndex> sent);
+
+  /// Pick up to `gossipLength_` random entries of `n`'s view plus `n`
+  /// itself (CYCLON always advertises the sender).
+  [[nodiscard]] std::vector<net::NodeIndex> sampleSubset(net::NodeIndex n);
+
+  /// Merge `offered` into `n`'s view: fill free slots, then overwrite the
+  /// entries `n` itself just sent away, then random-evict.
+  void merge(net::NodeIndex n, const std::vector<net::NodeIndex>& offered,
+             const std::vector<net::NodeIndex>& sentAway);
+
+  void evictEntry(net::NodeIndex n, net::NodeIndex dead);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  std::size_t viewSize_;
+  std::size_t gossipLength_;
+  sim::SimDuration period_;
+  sim::Rng rng_;
+  std::vector<std::vector<net::NodeIndex>> views_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  std::uint64_t completedShuffles_ = 0;
+};
+
+}  // namespace avmem::avmon

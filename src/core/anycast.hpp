@@ -1,0 +1,118 @@
+// {Threshold, Range}-Anycast over the AVMEM overlay (paper Section 3.2).
+//
+// Three forwarding strategies — greedy, retried-greedy, simulated
+// annealing — each usable with HS-only, VS-only, or HS+VS neighbor sets
+// (nine algorithms). A node holding the anycast delivers it if its own
+// availability lies in the target range; otherwise it forwards using
+// *cached* neighbor availabilities, decrementing a TTL per virtual hop.
+//
+// Failure semantics:
+//  * greedy / annealing forward fire-and-forget; a hop landing on an
+//    offline or rejecting node silently kills the message (reported as
+//    kDropped via a watchdog);
+//  * retried-greedy requires an ack per hop and retries the next-best
+//    neighbor up to `retryBudget` times per hop (paper: "each forwarded
+//    message carries the value of retry = k").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/avmem_node.hpp"
+#include "core/config.hpp"
+#include "core/range.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+
+namespace avmem::core {
+
+/// Anycast tuning; defaults match the paper's experiments (TTL = 6,
+/// retry plateau at 8, hop latency U[20,80] ms with a 300 ms ack timeout).
+struct AnycastParams {
+  AvRange range;
+  AnycastStrategy strategy = AnycastStrategy::kGreedy;
+  SliverSet slivers = SliverSet::kHsAndVs;
+  int ttl = 6;
+  int retryBudget = 8;
+  sim::SimDuration ackTimeout = sim::SimDuration::millis(300);
+};
+
+/// Terminal states of one anycast.
+enum class AnycastOutcome : std::uint8_t {
+  kDelivered,
+  kTtlExpired,
+  kRetryExpired,      ///< retried-greedy exhausted its per-hop budget
+  kNoNeighbor,        ///< a hop had no usable next-hop candidate
+  kDropped,           ///< fire-and-forget hop landed on a dead/rejecting node
+  kInitiatorOffline,  ///< the initiator was offline at start
+};
+
+[[nodiscard]] constexpr const char* toString(AnycastOutcome o) noexcept {
+  switch (o) {
+    case AnycastOutcome::kDelivered:
+      return "delivered";
+    case AnycastOutcome::kTtlExpired:
+      return "ttl-expired";
+    case AnycastOutcome::kRetryExpired:
+      return "retry-expired";
+    case AnycastOutcome::kNoNeighbor:
+      return "no-neighbor";
+    case AnycastOutcome::kDropped:
+      return "dropped";
+    case AnycastOutcome::kInitiatorOffline:
+      return "initiator-offline";
+  }
+  return "?";
+}
+
+/// Result of one anycast operation.
+struct AnycastResult {
+  AnycastOutcome outcome = AnycastOutcome::kDropped;
+  int hops = 0;                    ///< virtual hops traveled
+  sim::SimDuration latency;        ///< start -> terminal event
+  net::NodeIndex deliveredTo = 0;  ///< valid when outcome == kDelivered
+};
+
+/// Runs anycast operations over a population of AvmemNodes.
+class AnycastEngine {
+ public:
+  using CompletionFn = std::function<void(const AnycastResult&)>;
+
+  AnycastEngine(ProtocolContext& ctx, net::Network& network,
+                std::vector<AvmemNode>& nodes, sim::Rng rng)
+      : ctx_(ctx), network_(network), nodes_(nodes), rng_(rng) {}
+
+  AnycastEngine(const AnycastEngine&) = delete;
+  AnycastEngine& operator=(const AnycastEngine&) = delete;
+
+  /// Launch an anycast from `initiator`; `done` fires exactly once at the
+  /// terminal event. Multiple operations may be in flight concurrently.
+  void start(net::NodeIndex initiator, const AnycastParams& params,
+             CompletionFn done);
+
+ private:
+  struct Operation;
+
+  void arriveAt(std::shared_ptr<Operation> op, net::NodeIndex node, int ttl,
+                int hops);
+  void forwardFrom(std::shared_ptr<Operation> op, net::NodeIndex node,
+                   int ttl, int hops);
+  /// Candidates for the next hop, best-first under the greedy metric with
+  /// random tie-breaks (mutates the engine RNG).
+  [[nodiscard]] std::vector<NeighborEntry> rankedCandidates(
+      net::NodeIndex node, const AnycastParams& params);
+  void settle(std::shared_ptr<Operation> op, AnycastOutcome outcome,
+              int hops, net::NodeIndex deliveredTo = 0);
+  void tryCandidates(std::shared_ptr<Operation> op, net::NodeIndex node,
+                     std::vector<NeighborEntry> candidates, std::size_t next,
+                     int budget, int ttl, int hops);
+
+  ProtocolContext& ctx_;
+  net::Network& network_;
+  std::vector<AvmemNode>& nodes_;
+  sim::Rng rng_;
+};
+
+}  // namespace avmem::core

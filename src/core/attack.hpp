@@ -1,0 +1,62 @@
+// Non-cooperation analyses (paper Section 4.1, Figures 5-6).
+//
+// Flooding attack: a selfish node x tries to message every online node
+// that is *not* in its AVMEM lists; each target verifies M(x, target) with
+// its own (cached/stale/noisy) availability estimates and the configured
+// cushion. The figure of merit is the fraction of non-neighbors that
+// accept — the attacker's illegitimate audience.
+//
+// Legitimate rejection: the dual experiment — x messages every node that
+// *is* in its lists; the figure of merit is the fraction that (wrongly)
+// reject, caused by estimate inconsistency between x and its neighbors.
+#pragma once
+
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace avmem::core {
+
+/// Outcome of one attacker/sender sweep.
+struct VerificationSweep {
+  std::size_t targets = 0;   ///< nodes probed
+  std::size_t accepted = 0;  ///< targets whose verification passed
+
+  [[nodiscard]] double acceptFraction() const noexcept {
+    return targets == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(targets);
+  }
+  [[nodiscard]] double rejectFraction() const noexcept {
+    return targets == 0 ? 0.0 : 1.0 - acceptFraction();
+  }
+};
+
+/// Flooding attack from `attacker`: probe every online non-neighbor.
+[[nodiscard]] inline VerificationSweep floodingAttack(AvmemSimulation& sim,
+                                                      net::NodeIndex attacker) {
+  VerificationSweep sweep;
+  const AvmemNode& a = sim.node(attacker);
+  for (const net::NodeIndex target : sim.onlineNodes()) {
+    if (target == attacker || a.knows(target)) continue;
+    ++sweep.targets;
+    if (sim.node(target).verifyIncoming(attacker)) ++sweep.accepted;
+  }
+  return sweep;
+}
+
+/// Legitimate traffic from `sender`: probe every node in its slivers
+/// (online ones only — offline neighbors cannot reject anything).
+[[nodiscard]] inline VerificationSweep legitimateTraffic(
+    AvmemSimulation& sim, net::NodeIndex sender) {
+  VerificationSweep sweep;
+  for (const NeighborEntry& e : sim.node(sender).neighbors(
+           SliverSet::kHsAndVs)) {
+    if (!sim.isOnline(e.peer)) continue;
+    ++sweep.targets;
+    if (sim.node(e.peer).verifyIncoming(sender)) ++sweep.accepted;
+  }
+  return sweep;
+}
+
+}  // namespace avmem::core

@@ -1,0 +1,112 @@
+#include "core/avmem_node.hpp"
+
+namespace avmem::core {
+
+std::vector<NeighborEntry> AvmemNode::neighbors(SliverSet set) const {
+  std::vector<NeighborEntry> out;
+  if (set != SliverSet::kVsOnly) {
+    out.insert(out.end(), hs_.entries().begin(), hs_.entries().end());
+  }
+  if (set != SliverSet::kHsOnly) {
+    out.insert(out.end(), vs_.entries().begin(), vs_.entries().end());
+  }
+  return out;
+}
+
+void AvmemNode::updateSelfAvailability() {
+  ++stats_.availabilityQueries;
+  if (const auto av = ctx_->availability.query(self_, self_)) {
+    selfAv_ = *av;
+  }
+}
+
+std::optional<AvmemNode::Evaluation> AvmemNode::evaluatePeer(NodeIndex peer) {
+  ++stats_.availabilityQueries;
+  const auto peerAv = ctx_->availability.query(self_, peer);
+  if (!peerAv) return std::nullopt;
+
+  Evaluation ev;
+  ev.peerAv = *peerAv;
+  ev.kind = ctx_->predicate.classify(selfAv_, ev.peerAv);
+  const double h = ctx_->hashOf(self_, peer);
+  ev.member = ctx_->predicate.evaluate(h, selfAv_, ev.peerAv);
+  return ev;
+}
+
+void AvmemNode::discoverOnce(const std::vector<NodeIndex>& view) {
+  ++stats_.discoveryRounds;
+  updateSelfAvailability();
+
+  for (const NodeIndex peer : view) {
+    if (peer == self_ || knows(peer)) continue;
+    const auto ev = evaluatePeer(peer);
+    if (!ev || !ev->member) continue;
+    SliverList& list = ev->kind == SliverKind::kHorizontal ? hs_ : vs_;
+    if (list.upsert(peer, ev->peerAv, ctx_->sim.now())) {
+      ++stats_.neighborsDiscovered;
+    }
+  }
+}
+
+void AvmemNode::adoptCoarseView(const std::vector<NodeIndex>& view) {
+  ++stats_.discoveryRounds;
+  updateSelfAvailability();
+  hs_.clear();
+  vs_.clear();
+  for (const NodeIndex peer : view) {
+    if (peer == self_) continue;
+    ++stats_.availabilityQueries;
+    const auto av = ctx_->availability.query(self_, peer);
+    if (!av) continue;
+    vs_.upsert(peer, *av, ctx_->sim.now());
+  }
+}
+
+void AvmemNode::refreshOnce() {
+  ++stats_.refreshRounds;
+  updateSelfAvailability();
+
+  // Collect peers first: re-filing between slivers mutates both lists.
+  std::vector<NodeIndex> peers;
+  peers.reserve(degree());
+  for (const auto& e : hs_.entries()) peers.push_back(e.peer);
+  for (const auto& e : vs_.entries()) peers.push_back(e.peer);
+
+  for (const NodeIndex peer : peers) {
+    const auto ev = evaluatePeer(peer);
+    if (!ev || !ev->member) {
+      // Predicate no longer holds (availability drift) or the service
+      // lost track of the peer: evict, per the Refresh sub-protocol.
+      if (hs_.remove(peer) || vs_.remove(peer)) ++stats_.neighborsEvicted;
+      continue;
+    }
+    SliverList& correct = ev->kind == SliverKind::kHorizontal ? hs_ : vs_;
+    SliverList& other = ev->kind == SliverKind::kHorizontal ? vs_ : hs_;
+    other.remove(peer);
+    correct.upsert(peer, ev->peerAv, ctx_->sim.now());
+  }
+}
+
+bool AvmemNode::verifyIncoming(NodeIndex sender) {
+  ++stats_.messagesVerified;
+  // The receiver judges the *sender's* claim M(sender, self) with its own
+  // information: the monitoring service's availability for the sender and
+  // for itself. Consistency of H means the hash needs no trust. The
+  // self-estimate is refreshed first — a node always has current access
+  // to its own monitoring answer, and a stale value from before an
+  // offline period would corrupt the judgment.
+  updateSelfAvailability();
+  const auto senderAv = ctx_->availability.query(self_, sender);
+  if (!senderAv) {
+    ++stats_.messagesRejected;
+    return false;
+  }
+  ++stats_.availabilityQueries;
+  const double h = ctx_->hashOf(sender, self_);
+  const bool ok = ctx_->predicate.evaluate(h, *senderAv, selfAv_,
+                                           ctx_->config.cushion);
+  if (!ok) ++stats_.messagesRejected;
+  return ok;
+}
+
+}  // namespace avmem::core

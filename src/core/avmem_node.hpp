@@ -1,0 +1,132 @@
+// Per-node AVMEM protocol state: the slivers, the Discovery and Refresh
+// sub-protocols (paper Section 3.1), and receiver-side verification of
+// incoming messages (the non-cooperation defense of Section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "avmon/availability_service.hpp"
+#include "core/config.hpp"
+#include "core/membership.hpp"
+#include "core/node_id.hpp"
+#include "core/predicates.hpp"
+#include "hash/pair_hash.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmem::core {
+
+/// Everything a node's protocol logic needs from its environment; owned by
+/// the simulation harness, shared by reference across all nodes.
+struct ProtocolContext {
+  sim::Simulator& sim;
+  avmon::AvailabilityService& availability;
+  const AvmemPredicate& predicate;
+  const std::vector<NodeId>& ids;
+  hashing::CachingPairHasher& pairHash;
+  ProtocolConfig config;
+
+  /// H(id(a), id(b)) through the shared memoizing hasher.
+  [[nodiscard]] double hashOf(NodeIndex a, NodeIndex b) const {
+    return pairHash.hash(orderedPairKey(a, b), ids[a].bytes(), ids[b].bytes());
+  }
+};
+
+/// Per-node protocol counters.
+struct NodeStats {
+  std::uint64_t discoveryRounds = 0;
+  std::uint64_t refreshRounds = 0;
+  std::uint64_t neighborsDiscovered = 0;
+  std::uint64_t neighborsEvicted = 0;
+  std::uint64_t availabilityQueries = 0;
+  std::uint64_t messagesVerified = 0;
+  std::uint64_t messagesRejected = 0;
+};
+
+/// One AVMEM participant.
+class AvmemNode {
+ public:
+  AvmemNode(NodeIndex self, ProtocolContext& ctx) : self_(self), ctx_(&ctx) {}
+
+  [[nodiscard]] NodeIndex index() const noexcept { return self_; }
+
+  /// The node's own availability as the monitoring service reports it to
+  /// the node itself (refreshed on every discovery/refresh round).
+  [[nodiscard]] double selfAvailability() const noexcept { return selfAv_; }
+
+  [[nodiscard]] const SliverList& horizontalSliver() const noexcept {
+    return hs_;
+  }
+  [[nodiscard]] const SliverList& verticalSliver() const noexcept {
+    return vs_;
+  }
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+
+  /// True if `peer` is in either sliver.
+  [[nodiscard]] bool knows(NodeIndex peer) const noexcept {
+    return hs_.contains(peer) || vs_.contains(peer);
+  }
+
+  /// Total neighbor count (HS + VS).
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return hs_.size() + vs_.size();
+  }
+
+  /// Neighbor entries for the requested sliver set, concatenated
+  /// (HS first). Entries carry cached availabilities for routing.
+  [[nodiscard]] std::vector<NeighborEntry> neighbors(SliverSet set) const;
+
+  /// One Discovery round: scan the coarse `view`, test the predicate
+  /// against monitoring-service availabilities, admit matching peers into
+  /// the proper sliver. No-op while this node is offline (callers gate on
+  /// churn; see AvmemSimulation).
+  void discoverOnce(const std::vector<NodeIndex>& view);
+
+  /// One Refresh round: re-fetch availabilities for every neighbor,
+  /// re-evaluate M(self, peer), evict entries whose predicate turned
+  /// false, and re-file entries whose sliver classification moved.
+  void refreshOnce();
+
+  /// Receiver-side verification (paper Section 4.1): would this node
+  /// accept a message from `sender`? Re-evaluates M(sender, self) with
+  /// *this node's* view of both availabilities plus the configured
+  /// cushion. Pure — does not mutate protocol state beyond counters.
+  [[nodiscard]] bool verifyIncoming(NodeIndex sender);
+
+  /// Re-fetch this node's own availability estimate.
+  void updateSelfAvailability();
+
+  /// Replace the membership state with the raw coarse `view` (baseline
+  /// overlays only — see SimulationConfig::useCoarseViewOverlay). All
+  /// entries land in the vertical sliver with freshly-queried
+  /// availabilities; the horizontal sliver is cleared.
+  void adoptCoarseView(const std::vector<NodeIndex>& view);
+
+  /// Drop a neighbor known to be unreachable (failure feedback from
+  /// routing, mirrors the shuffle service's eviction of dead entries).
+  void evictNeighbor(NodeIndex peer) {
+    if (hs_.remove(peer) || vs_.remove(peer)) ++stats_.neighborsEvicted;
+  }
+
+ private:
+  /// Evaluate M(self, peer); nullopt when the service has no estimate for
+  /// the peer. On success also reports the sliver classification and the
+  /// peer availability used.
+  struct Evaluation {
+    bool member = false;
+    SliverKind kind = SliverKind::kVertical;
+    double peerAv = 0.0;
+  };
+  [[nodiscard]] std::optional<Evaluation> evaluatePeer(NodeIndex peer);
+
+  NodeIndex self_;
+  ProtocolContext* ctx_;
+  double selfAv_ = 0.0;
+  SliverList hs_;
+  SliverList vs_;
+  NodeStats stats_;
+};
+
+}  // namespace avmem::core

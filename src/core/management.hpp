@@ -1,0 +1,152 @@
+// The typed management-operations API.
+//
+// The paper motivates four availability-based management tasks
+// (Section 1): threshold-anycast, range-anycast, threshold-multicast,
+// range-multicast — plus aggregate "fingerprinting" queries built on the
+// multicasts ("find out the average bandwidth of nodes below a certain
+// availability"). ManagementClient packages them as one-call operations
+// over an AvmemSimulation, with the paper's recommended defaults
+// (retried-greedy HS+VS anycast, flooding multicast), so applications and
+// examples do not re-assemble parameter structs.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace avmem::core {
+
+/// Result of an aggregate (fingerprint) query over an availability range.
+struct AggregateResult {
+  /// Underlying multicast outcome.
+  MulticastResult multicast;
+  /// Aggregate over the attribute values reported by reached nodes.
+  stats::Summary attribute;
+
+  [[nodiscard]] bool usable() const noexcept {
+    return multicast.reachedRange && attribute.count() > 0;
+  }
+};
+
+/// One-call management operations over an assembled AVMEM system.
+///
+/// All operations advance simulated time until they complete (they are
+/// synchronous from the caller's perspective; the underlying protocol is
+/// fully asynchronous).
+class ManagementClient {
+ public:
+  explicit ManagementClient(AvmemSimulation& system) noexcept
+      : system_(&system) {}
+
+  // --- anycast --------------------------------------------------------------
+
+  /// Find some node with availability > `threshold`, starting from
+  /// `initiator`. Paper use case: supernode selection.
+  [[nodiscard]] AnycastResult thresholdAnycast(net::NodeIndex initiator,
+                                               double threshold) {
+    return system_->runAnycast(initiator, anycastParams(
+                                              AvRange::threshold(threshold)));
+  }
+
+  /// Find some node with availability in [lo, hi]. Paper use case:
+  /// replica / deployment-instance placement.
+  [[nodiscard]] AnycastResult rangeAnycast(net::NodeIndex initiator,
+                                           double lo, double hi) {
+    return system_->runAnycast(initiator,
+                               anycastParams(AvRange::closed(lo, hi)));
+  }
+
+  // --- multicast ------------------------------------------------------------
+
+  /// Deliver to (nearly) all nodes with availability > `threshold`.
+  /// Paper use case: availability-dependent publish-subscribe.
+  [[nodiscard]] MulticastResult thresholdMulticast(
+      net::NodeIndex initiator, double threshold,
+      MulticastMode mode = MulticastMode::kFlood) {
+    return system_->runMulticast(
+        initiator, multicastParams(AvRange::threshold(threshold), mode));
+  }
+
+  /// Deliver to (nearly) all nodes with availability in [lo, hi].
+  [[nodiscard]] MulticastResult rangeMulticast(
+      net::NodeIndex initiator, double lo, double hi,
+      MulticastMode mode = MulticastMode::kFlood) {
+    return system_->runMulticast(
+        initiator, multicastParams(AvRange::closed(lo, hi), mode));
+  }
+
+  // --- fingerprinting -------------------------------------------------------
+
+  /// Range-multicast a probe and aggregate `attributeOf(node)` over the
+  /// nodes actually reached. Paper use case: "fingerprint characteristics
+  /// of the nodes within an availability range".
+  [[nodiscard]] AggregateResult rangeAggregate(
+      net::NodeIndex initiator, double lo, double hi,
+      const std::function<double(net::NodeIndex)>& attributeOf,
+      MulticastMode mode = MulticastMode::kFlood) {
+    AggregateResult out;
+    out.multicast = system_->runMulticast(
+        initiator, multicastParams(AvRange::closed(lo, hi), mode));
+    for (const net::NodeIndex n : out.multicast.deliveredNodes) {
+      out.attribute.add(attributeOf(n));
+    }
+    return out;
+  }
+
+  // --- tuning ---------------------------------------------------------------
+
+  /// Override the defaults used by subsequent operations.
+  void setAnycastDefaults(AnycastStrategy strategy, SliverSet slivers,
+                          int ttl, int retryBudget) noexcept {
+    strategy_ = strategy;
+    slivers_ = slivers;
+    ttl_ = ttl;
+    retryBudget_ = retryBudget;
+  }
+
+  void setMulticastDefaults(SliverSet slivers, int fanout,
+                            int rounds) noexcept {
+    mcSlivers_ = slivers;
+    fanout_ = fanout;
+    rounds_ = rounds;
+  }
+
+  [[nodiscard]] AnycastParams anycastParams(AvRange range) const {
+    AnycastParams p;
+    p.range = range;
+    p.strategy = strategy_;
+    p.slivers = slivers_;
+    p.ttl = ttl_;
+    p.retryBudget = retryBudget_;
+    return p;
+  }
+
+  [[nodiscard]] MulticastParams multicastParams(AvRange range,
+                                                MulticastMode mode) const {
+    MulticastParams p;
+    p.range = range;
+    p.mode = mode;
+    p.slivers = mcSlivers_;
+    p.fanout = fanout_;
+    p.rounds = rounds_;
+    p.entryAnycast = anycastParams(range);
+    // Entry stage must be reliable regardless of the configured anycast
+    // default — a silent greedy drop would kill the whole multicast.
+    p.entryAnycast.strategy = AnycastStrategy::kRetriedGreedy;
+    return p;
+  }
+
+ private:
+  AvmemSimulation* system_;
+  AnycastStrategy strategy_ = AnycastStrategy::kRetriedGreedy;
+  SliverSet slivers_ = SliverSet::kHsAndVs;
+  int ttl_ = 6;
+  int retryBudget_ = 8;
+  SliverSet mcSlivers_ = SliverSet::kHsAndVs;
+  int fanout_ = 5;
+  int rounds_ = 2;
+};
+
+}  // namespace avmem::core

@@ -1,0 +1,86 @@
+// The horizontal/vertical sliver membership lists kept by each node.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/node_id.hpp"
+#include "core/predicates.hpp"
+#include "sim/time.hpp"
+
+namespace avmem::core {
+
+/// One neighbor entry. `cachedAv` is the availability the owner fetched at
+/// discovery/refresh time; forwarding decisions use this cache rather than
+/// re-querying the monitoring service per message (paper Section 3.2),
+/// which is exactly the staleness Figures 5-6 quantify.
+struct NeighborEntry {
+  NodeIndex peer = 0;
+  double cachedAv = 0.0;
+  sim::SimTime addedAt;
+  sim::SimTime refreshedAt;
+};
+
+/// A small ordered-by-insertion neighbor list (one sliver).
+///
+/// Lists stay O(log N) by construction, so linear scans beat any indexed
+/// structure here.
+class SliverList {
+ public:
+  [[nodiscard]] bool contains(NodeIndex peer) const noexcept {
+    return find(peer) != nullptr;
+  }
+
+  [[nodiscard]] const NeighborEntry* find(NodeIndex peer) const noexcept {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [peer](const NeighborEntry& e) { return e.peer == peer; });
+    return it == entries_.end() ? nullptr : &*it;
+  }
+
+  [[nodiscard]] NeighborEntry* find(NodeIndex peer) noexcept {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [peer](const NeighborEntry& e) { return e.peer == peer; });
+    return it == entries_.end() ? nullptr : &*it;
+  }
+
+  /// Insert or refresh an entry; returns true if newly inserted.
+  bool upsert(NodeIndex peer, double av, sim::SimTime now) {
+    if (NeighborEntry* e = find(peer)) {
+      e->cachedAv = av;
+      e->refreshedAt = now;
+      return false;
+    }
+    entries_.push_back(NeighborEntry{peer, av, now, now});
+    return true;
+  }
+
+  /// Remove `peer`; returns true if it was present.
+  bool remove(NodeIndex peer) {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [peer](const NeighborEntry& e) { return e.peer == peer; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<NeighborEntry>& entries() noexcept {
+    return entries_;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<NeighborEntry> entries_;
+};
+
+}  // namespace avmem::core

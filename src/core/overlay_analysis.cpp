@@ -1,0 +1,97 @@
+#include "core/overlay_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace avmem::core {
+
+using net::NodeIndex;
+
+OverlaySnapshot::OverlaySnapshot(const AvmemSimulation& system,
+                                 SliverSet slivers) {
+  const auto n = static_cast<NodeIndex>(system.nodeCount());
+  adjacency_.resize(n);
+  inDegree_.assign(n, 0);
+  online_.assign(n, 0);
+  availability_.assign(n, 0.0);
+
+  for (NodeIndex i = 0; i < n; ++i) {
+    online_[i] = system.isOnline(i) ? 1 : 0;
+    availability_[i] = system.trueAvailability(i);
+  }
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (!online_[i]) continue;
+    for (const NeighborEntry& e : system.node(i).neighbors(slivers)) {
+      if (!online_[e.peer]) continue;  // offline targets are unreachable
+      adjacency_[i].push_back(e.peer);
+      ++inDegree_[e.peer];
+    }
+  }
+}
+
+std::vector<std::size_t> OverlaySnapshot::componentsWithin(double lo,
+                                                           double hi) const {
+  const auto n = static_cast<NodeIndex>(adjacency_.size());
+  const auto qualifies = [&](NodeIndex i) {
+    return online_[i] != 0 && availability_[i] >= lo &&
+           availability_[i] <= hi;
+  };
+
+  // Union-find over qualifying members; edges count in either direction
+  // but only when *both* endpoints qualify (the sub-overlay).
+  std::vector<NodeIndex> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<NodeIndex(NodeIndex)> find =
+      [&](NodeIndex x) -> NodeIndex {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (!qualifies(i)) continue;
+    for (const NodeIndex j : adjacency_[i]) {
+      if (!qualifies(j)) continue;
+      parent[find(i)] = find(j);
+    }
+  }
+
+  std::vector<std::size_t> sizeOf(n, 0);
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (qualifies(i)) ++sizeOf[find(i)];
+  }
+  std::vector<std::size_t> components;
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (sizeOf[i] > 0) components.push_back(sizeOf[i]);
+  }
+  std::sort(components.begin(), components.end(),
+            std::greater<std::size_t>());
+  return components;
+}
+
+double OverlaySnapshot::largestComponentFraction(double lo,
+                                                 double hi) const {
+  const auto components = componentsWithin(lo, hi);
+  if (components.empty()) return 0.0;
+  const std::size_t total =
+      std::accumulate(components.begin(), components.end(),
+                      static_cast<std::size_t>(0));
+  return static_cast<double>(components.front()) /
+         static_cast<double>(total);
+}
+
+std::size_t OverlaySnapshot::incomingLinksInto(double lo, double hi) const {
+  std::size_t total = 0;
+  const auto n = static_cast<NodeIndex>(adjacency_.size());
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (online_[i] && availability_[i] >= lo && availability_[i] <= hi) {
+      total += inDegree_[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace avmem::core

@@ -1,0 +1,50 @@
+// Availability ranges: the targets of the four management operations.
+//
+// Range operations target [b, b+delta] ⊆ [0,1]; threshold operations
+// target availability > b, i.e. the range (b, 1.0] (paper Section 1).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace avmem::core {
+
+/// A closed availability interval [lo, hi].
+struct AvRange {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  /// Range form [b, b+delta] (range-anycast / range-multicast).
+  [[nodiscard]] static constexpr AvRange closed(double lo, double hi) noexcept {
+    return AvRange{lo, hi};
+  }
+
+  /// Threshold form: availability > b, modeled as [b + ulp, 1.0]
+  /// ("the range R stretches from the threshold to 1.0").
+  [[nodiscard]] static AvRange threshold(double b) noexcept {
+    return AvRange{std::nextafter(b, 2.0), 1.0};
+  }
+
+  [[nodiscard]] constexpr bool contains(double a) const noexcept {
+    return a >= lo && a <= hi;
+  }
+
+  /// Euclidean distance from `a` to the nearest edge of the range
+  /// (0 inside) — the greedy forwarding metric and the annealing Δ.
+  [[nodiscard]] constexpr double distance(double a) const noexcept {
+    if (a < lo) return lo - a;
+    if (a > hi) return a - hi;
+    return 0.0;
+  }
+
+  /// Midpoint (a tie-break target for greedy forwarding toward the range).
+  [[nodiscard]] constexpr double mid() const noexcept {
+    return (lo + hi) / 2.0;
+  }
+
+  [[nodiscard]] std::string toString() const {
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  }
+};
+
+}  // namespace avmem::core

@@ -1,0 +1,292 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/latency.hpp"
+
+namespace avmem::core {
+
+using net::NodeIndex;
+
+AvmemSimulation::AvmemSimulation(const SimulationConfig& config)
+    : AvmemSimulation(config, trace::generateOvernetTrace(config.trace)) {}
+
+AvmemSimulation::AvmemSimulation(const SimulationConfig& config,
+                                 trace::ChurnTrace trace)
+    : config_(config),
+      trace_(std::make_unique<trace::ChurnTrace>(std::move(trace))),
+      rng_(config.seed) {
+  buildSystem(config);
+}
+
+void AvmemSimulation::buildSystem(const SimulationConfig& config) {
+  const std::size_t n = trace_->hostCount();
+  if (n < 2) {
+    throw std::invalid_argument("AvmemSimulation: need at least two hosts");
+  }
+
+  sim_ = std::make_unique<sim::Simulator>();
+  ids_ = makeNodeIds(n, rng_.fork("node-ids").next());
+
+  // Network: delivery gated on trace-online at the delivery instant.
+  auto* tracePtr = trace_.get();
+  auto* simPtr = sim_.get();
+  network_ = std::make_unique<net::Network>(
+      *sim_,
+      [tracePtr, simPtr](NodeIndex i) {
+        return tracePtr->onlineAt(i, simPtr->now());
+      },
+      net::paperDefaultLatency(), rng_.fork("latency"));
+
+  // Availability monitoring.
+  oracle_ = std::make_unique<avmon::OracleAvailabilityService>(*trace_, *sim_);
+  switch (config.backend) {
+    case AvailabilityBackend::kOracle:
+      service_ = oracle_.get();
+      break;
+    case AvailabilityBackend::kNoisy:
+      serviceOwned_ = std::make_unique<avmon::NoisyAvailabilityService>(
+          *oracle_, *sim_, config.noisyMaxError, config.noisyStaleness,
+          rng_.fork("noisy-availability").next());
+      service_ = serviceOwned_.get();
+      break;
+    case AvailabilityBackend::kAvmon:
+      avmonSystem_ = std::make_unique<avmon::AvmonSystem>(*trace_, *sim_,
+                                                          ids_, config.avmon);
+      serviceOwned_ =
+          std::make_unique<avmon::AvmonAvailabilityService>(*avmonSystem_);
+      service_ = serviceOwned_.get();
+      break;
+    case AvailabilityBackend::kAged:
+      serviceOwned_ = std::make_unique<avmon::AgedAvailabilityService>(
+          *trace_, *sim_, config.agedAlpha);
+      service_ = serviceOwned_.get();
+      break;
+    case AvailabilityBackend::kCentral:
+      serviceOwned_ = std::make_unique<avmon::CentralizedAvailabilityService>(
+          *trace_, *sim_, config.centralSnapshotPeriod);
+      service_ = serviceOwned_.get();
+      break;
+  }
+
+  // Availability PDF: the offline crawler artifact. Sampled from the
+  // full-trace (long-term) availability of every host; N* = expected
+  // online population = sum of availabilities.
+  std::vector<double> availabilities;
+  availabilities.reserve(n);
+  double nStar = 0.0;
+  for (NodeIndex i = 0; i < n; ++i) {
+    const double a = trace_->fullAvailability(i);
+    availabilities.push_back(a);
+    nStar += a;
+  }
+  nStar = std::max(nStar, 2.0);
+  AvailabilityPdf pdf =
+      AvailabilityPdf::fromSamples(availabilities, nStar, config.pdfBins);
+
+  // Predicate. In coarse-view-overlay mode the membership list is the
+  // shuffled view itself; an always-true predicate makes receiver-side
+  // verification vacuous (no consistent relation exists to verify).
+  if (config.useCoarseViewOverlay) {
+    predicate_ = std::make_unique<AvmemPredicate>(makeRandomOverlayPredicate(
+        std::move(pdf), 1.0, config.protocol.epsilon));
+  } else {
+    switch (config.predicate) {
+    case PredicateChoice::kPaperDefault:
+      predicate_ = std::make_unique<AvmemPredicate>(makePaperDefaultPredicate(
+          std::move(pdf), config.protocol.epsilon, config.protocol.c1,
+          config.protocol.c2));
+      break;
+    case PredicateChoice::kRandomOverlay: {
+      double p = config.randomOverlayP;
+      if (p <= 0.0) {
+        // SCAMP-style sizing: alternative membership protocols maintain
+        // (1 + c) * log(N) neighbors (SCAMP's provable connectivity
+        // size; CYCLON/T-MAN are parameterized comparably). The pairwise
+        // probability is taken over the *whole population* — the graph
+        // is availability-agnostic, so offline-heavy nodes occupy list
+        // slots in proportion to their numbers. This is the overlay the
+        // paper compares against in Figure 10; pass randomOverlayP
+        // explicitly to study other calibrations (see the ablation
+        // bench).
+        const double degree = (1.0 + config.protocol.c1) *
+                              std::log(pdf.nStar());
+        p = std::clamp(degree / static_cast<double>(n), 1e-6, 1.0);
+      }
+      predicate_ = std::make_unique<AvmemPredicate>(makeRandomOverlayPredicate(
+          std::move(pdf), p, config.protocol.epsilon));
+      break;
+    }
+    case PredicateChoice::kLogDecreasing:
+      predicate_ = std::make_unique<AvmemPredicate>(makeLogDecreasingPredicate(
+          std::move(pdf), config.protocol.epsilon, config.protocol.c1,
+          config.protocol.c2));
+      break;
+    case PredicateChoice::kConstantSlivers: {
+      const double d = config.protocol.c1 * std::log(pdf.nStar());
+      predicate_ = std::make_unique<AvmemPredicate>(
+          makeConstantSliversPredicate(std::move(pdf), d, d,
+                                       config.protocol.epsilon));
+      break;
+    }
+    }
+  }
+
+  pairHash_ = std::make_unique<hashing::CachingPairHasher>(
+      config.protocol.hashAlgorithm);
+
+  ctx_ = std::make_unique<ProtocolContext>(ProtocolContext{
+      *sim_, *service_, *predicate_, ids_, *pairHash_, config.protocol});
+
+  nodes_.reserve(n);
+  for (NodeIndex i = 0; i < n; ++i) {
+    nodes_.emplace_back(i, *ctx_);
+  }
+
+  shuffle_ = std::make_unique<avmon::ShuffleService>(
+      *sim_, *network_, n, config.shuffle, rng_.fork("shuffle"));
+
+  anycastEngine_ = std::make_unique<AnycastEngine>(
+      *ctx_, *network_, nodes_, rng_.fork("anycast"));
+  multicastEngine_ = std::make_unique<MulticastEngine>(
+      *ctx_, *network_, nodes_, *anycastEngine_,
+      [this](NodeIndex i) { return trueAvailability(i); },
+      rng_.fork("multicast"));
+}
+
+void AvmemSimulation::warmup(sim::SimDuration duration) {
+  if (!started_) {
+    started_ = true;
+    shuffle_->start();
+
+    const std::size_t n = nodes_.size();
+    discoveryTasks_.reserve(n);
+    refreshTasks_.reserve(n);
+    sim::Rng stagger = rng_.fork("task-stagger");
+    for (NodeIndex i = 0; i < n; ++i) {
+      // Discovery: every protocol period, scan the coarse view. Offline
+      // nodes skip the round (they are not running). In coarse-view-
+      // overlay mode (Figure-10 baseline) the view *is* the membership
+      // list, so the round adopts it wholesale instead.
+      auto discovery = std::make_unique<sim::PeriodicTask>();
+      const auto dOffset =
+          sim::SimDuration::micros(static_cast<std::int64_t>(stagger.below(
+              static_cast<std::uint64_t>(
+                  config_.protocol.discoveryPeriod.toMicros()))));
+      discovery->start(*sim_, sim_->now() + dOffset,
+                       config_.protocol.discoveryPeriod, [this, i] {
+                         if (!isOnline(i)) return;
+                         if (config_.useCoarseViewOverlay) {
+                           nodes_[i].adoptCoarseView(shuffle_->viewOf(i));
+                         } else {
+                           nodes_[i].discoverOnce(shuffle_->viewOf(i));
+                         }
+                       });
+      discoveryTasks_.push_back(std::move(discovery));
+
+      // Refresh: every refresh period, re-validate both slivers (no-op
+      // for the view overlay, whose list is rebuilt every round anyway).
+      if (!config_.useCoarseViewOverlay) {
+        auto refresh = std::make_unique<sim::PeriodicTask>();
+        const auto rOffset =
+            sim::SimDuration::micros(static_cast<std::int64_t>(stagger.below(
+                static_cast<std::uint64_t>(
+                    config_.protocol.refreshPeriod.toMicros()))));
+        refresh->start(*sim_, sim_->now() + rOffset,
+                       config_.protocol.refreshPeriod, [this, i] {
+                         if (!isOnline(i)) return;
+                         nodes_[i].refreshOnce();
+                       });
+        refreshTasks_.push_back(std::move(refresh));
+      }
+    }
+  }
+  sim_->runUntil(sim_->now() + duration);
+}
+
+std::vector<NodeIndex> AvmemSimulation::onlineNodes() const {
+  std::vector<NodeIndex> out;
+  const auto n = static_cast<NodeIndex>(nodes_.size());
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (isOnline(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<NodeIndex> AvmemSimulation::pickInitiator(AvBand band) {
+  std::vector<NodeIndex> eligible;
+  const auto n = static_cast<NodeIndex>(nodes_.size());
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (!isOnline(i)) continue;
+    const double a = trueAvailability(i);
+    if (a >= band.lo && a < band.hi) eligible.push_back(i);
+  }
+  if (eligible.empty()) return std::nullopt;
+  return eligible[rng_.index(eligible.size())];
+}
+
+AnycastResult AvmemSimulation::runAnycast(NodeIndex initiator,
+                                          const AnycastParams& params) {
+  if (!started_) warmup(sim::SimDuration::zero());
+  std::optional<AnycastResult> result;
+  anycastEngine_->start(initiator, params,
+                        [&result](const AnycastResult& r) { result = r; });
+  while (!result && sim_->pendingEvents() > 0) {
+    sim_->step();
+  }
+  if (!result) {
+    throw std::logic_error("runAnycast: operation never settled");
+  }
+  return *result;
+}
+
+AnycastBatchResult AvmemSimulation::runAnycastBatch(
+    AvBand band, const AnycastParams& params, std::size_t count,
+    sim::SimDuration stagger) {
+  if (!started_) warmup(sim::SimDuration::zero());
+  AnycastBatchResult batch;
+
+  std::size_t launched = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto initiator = pickInitiator(band);
+    if (!initiator) break;
+    ++launched;
+    const auto delay = stagger * static_cast<std::int64_t>(k);
+    sim_->schedule(delay, [this, initiator = *initiator, params, &batch] {
+      anycastEngine_->start(initiator, params,
+                            [&batch](const AnycastResult& r) {
+                              batch.results.push_back(r);
+                            });
+    });
+  }
+
+  // Every operation settles eventually (the engine's watchdog guarantees
+  // it), and maintenance keeps the queue non-empty meanwhile.
+  while (batch.results.size() < launched && sim_->pendingEvents() > 0) {
+    sim_->step();
+  }
+  return batch;
+}
+
+MulticastResult AvmemSimulation::runMulticast(NodeIndex initiator,
+                                              const MulticastParams& params) {
+  if (!started_) warmup(sim::SimDuration::zero());
+  const auto handle = multicastEngine_->launch(initiator, params);
+  run(MulticastEngine::horizon(params));
+  return multicastEngine_->finalize(handle);
+}
+
+double AvmemSimulation::expectedDegree(double av) const {
+  const auto& pdf = predicate_->pdf();
+  const auto& h = pdf.histogram();
+  double degree = 0.0;
+  for (std::size_t j = 0; j < h.binCount(); ++j) {
+    const double b = h.binMid(j);
+    degree += predicate_->f(av, b) * pdf.nStar() * h.fraction(j);
+  }
+  return degree;
+}
+
+}  // namespace avmem::core

@@ -1,0 +1,246 @@
+// AvmemSimulation: the full system, assembled.
+//
+// Owns the churn trace, the discrete-event simulator, the network, the
+// availability-monitoring and coarse-view substrates, the predicate, every
+// AVMEM node, and the anycast/multicast engines — i.e. the complete
+// experimental setup of the paper's Section 4. Examples, tests, and every
+// bench binary drive the system through this facade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "avmon/aged_availability.hpp"
+#include "avmon/availability_service.hpp"
+#include "avmon/avmon_monitors.hpp"
+#include "avmon/shuffle_service.hpp"
+#include "core/anycast.hpp"
+#include "core/avmem_node.hpp"
+#include "core/config.hpp"
+#include "core/multicast.hpp"
+#include "core/predicates.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "trace/churn_trace.hpp"
+#include "trace/overnet_generator.hpp"
+
+namespace avmem::core {
+
+/// Which availability-monitoring implementation backs the system.
+enum class AvailabilityBackend : std::uint8_t {
+  kOracle,   ///< ground truth (perfect accuracy and consistency)
+  kNoisy,    ///< oracle + bounded querier-dependent error and staleness
+  kAvmon,    ///< the full AVMON monitor overlay (paper's deployment)
+  kAged,     ///< EWMA-aged availability (AVMON's "aged" mode)
+  kCentral,  ///< centralized crawler with periodic snapshots
+};
+
+/// Which membership predicate spans the overlay.
+enum class PredicateChoice : std::uint8_t {
+  kPaperDefault,     ///< I.B logarithmic VS + II.B log-constant HS
+  kRandomOverlay,    ///< consistent-random baseline (Figure 10)
+  kLogDecreasing,    ///< I.C log-decreasing VS + II.B
+  kConstantSlivers,  ///< I.A + II.A with d1 = d2 = c1 * log(N*)
+};
+
+/// Full experiment configuration.
+struct SimulationConfig {
+  trace::OvernetTraceConfig trace{};
+  ProtocolConfig protocol{};
+  avmon::ShuffleConfig shuffle{};
+  avmon::AvmonConfig avmon{};
+
+  AvailabilityBackend backend = AvailabilityBackend::kAvmon;
+  /// kNoisy parameters.
+  double noisyMaxError = 0.05;
+  sim::SimDuration noisyStaleness = sim::SimDuration::minutes(20);
+  /// kAged: EWMA weight of the newest epoch.
+  double agedAlpha = 0.05;
+  /// kCentral: crawler snapshot period.
+  sim::SimDuration centralSnapshotPeriod = sim::SimDuration::hours(2);
+
+  PredicateChoice predicate = PredicateChoice::kPaperDefault;
+  /// Edge probability for kRandomOverlay; 0 = SCAMP-style sizing,
+  /// (1 + c1) * log(N*) expected neighbors.
+  double randomOverlayP = 0.0;
+
+  /// Replace AVMEM's predicate-driven slivers with the raw shuffled
+  /// coarse view as each node's membership list — the availability-
+  /// agnostic overlay that SCAMP/CYCLON/T-MAN actually produce, used as
+  /// the Figure-10 comparator. Views are online-biased and churn
+  /// continuously; there is no consistent predicate, so receiver-side
+  /// verification is vacuous (any sender is accepted).
+  bool useCoarseViewOverlay = false;
+
+  std::size_t pdfBins = 20;
+  std::uint64_t seed = 1;
+};
+
+/// Availability band used to pick initiators (paper Section 4.2:
+/// LOW ∈ [0, 1/3), MID ∈ [1/3, 2/3), HIGH ∈ [2/3, 1]).
+struct AvBand {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] static constexpr AvBand low() noexcept {
+    return {0.0, 1.0 / 3.0};
+  }
+  [[nodiscard]] static constexpr AvBand mid() noexcept {
+    return {1.0 / 3.0, 2.0 / 3.0};
+  }
+  [[nodiscard]] static constexpr AvBand high() noexcept {
+    return {2.0 / 3.0, 1.0000001};
+  }
+};
+
+/// Aggregate over a batch of anycasts (one plot point in Figures 7-10).
+struct AnycastBatchResult {
+  std::vector<AnycastResult> results;
+
+  [[nodiscard]] std::size_t count() const noexcept { return results.size(); }
+  [[nodiscard]] double fraction(AnycastOutcome o) const noexcept {
+    if (results.empty()) return 0.0;
+    std::size_t n = 0;
+    for (const auto& r : results) n += (r.outcome == o) ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(results.size());
+  }
+  [[nodiscard]] double deliveredFraction() const noexcept {
+    return fraction(AnycastOutcome::kDelivered);
+  }
+  /// Mean delivery latency in ms over *delivered* anycasts.
+  [[nodiscard]] double meanDeliveryLatencyMs() const noexcept {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto& r : results) {
+      if (r.outcome == AnycastOutcome::kDelivered) {
+        total += r.latency.toMillis();
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  }
+};
+
+/// The assembled system.
+class AvmemSimulation {
+ public:
+  explicit AvmemSimulation(const SimulationConfig& config);
+  /// Use a caller-supplied trace (e.g. real Overnet data via trace_io)
+  /// instead of generating one.
+  AvmemSimulation(const SimulationConfig& config, trace::ChurnTrace trace);
+
+  AvmemSimulation(const AvmemSimulation&) = delete;
+  AvmemSimulation& operator=(const AvmemSimulation&) = delete;
+
+  /// Start the maintenance machinery (shuffling, discovery, refresh) and
+  /// advance simulated time by `duration` (the paper warms up for 24 h).
+  void warmup(sim::SimDuration duration);
+
+  /// Advance simulated time (maintenance keeps running).
+  void run(sim::SimDuration duration) {
+    sim_->runUntil(sim_->now() + duration);
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] AvmemNode& node(net::NodeIndex i) { return nodes_.at(i); }
+  [[nodiscard]] const AvmemNode& node(net::NodeIndex i) const {
+    return nodes_.at(i);
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] const trace::ChurnTrace& trace() const noexcept {
+    return *trace_;
+  }
+  [[nodiscard]] const AvmemPredicate& predicate() const noexcept {
+    return *predicate_;
+  }
+  [[nodiscard]] avmon::AvailabilityService& availabilityService() noexcept {
+    return *service_;
+  }
+  [[nodiscard]] const avmon::ShuffleService& shuffleService() const noexcept {
+    return *shuffle_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& ids() const noexcept {
+    return ids_;
+  }
+
+  /// Ground-truth (trace) availability of node `i` at the current time.
+  [[nodiscard]] double trueAvailability(net::NodeIndex i) const {
+    return trace_->availabilityAt(i, sim_->now());
+  }
+  [[nodiscard]] bool isOnline(net::NodeIndex i) const {
+    return trace_->onlineAt(i, sim_->now());
+  }
+  /// All currently-online node indices.
+  [[nodiscard]] std::vector<net::NodeIndex> onlineNodes() const;
+
+  /// A uniformly random online node whose ground-truth availability lies
+  /// in `band`; nullopt if none exists.
+  [[nodiscard]] std::optional<net::NodeIndex> pickInitiator(AvBand band);
+
+  // --- management operations ----------------------------------------------
+
+  /// Run one anycast synchronously (advances simulated time until the
+  /// operation settles).
+  AnycastResult runAnycast(net::NodeIndex initiator,
+                           const AnycastParams& params);
+
+  /// Launch `count` anycasts from initiators drawn from `band`, staggered
+  /// `stagger` apart, and run until all settle (paper: 50 messages per
+  /// run). Initiators with no eligible node abort the batch early.
+  AnycastBatchResult runAnycastBatch(AvBand band, const AnycastParams& params,
+                                     std::size_t count,
+                                     sim::SimDuration stagger =
+                                         sim::SimDuration::millis(200));
+
+  /// Run one multicast synchronously through its dissemination horizon.
+  MulticastResult runMulticast(net::NodeIndex initiator,
+                               const MulticastParams& params);
+
+  /// Numerically integrate the expected AVMEM degree (HS + VS) of a node
+  /// with availability `av` under the active predicate and PDF.
+  [[nodiscard]] double expectedDegree(double av) const;
+
+  /// Adjust the receiver-side verification cushion at runtime (Figures
+  /// 5-6 sweep this without rebuilding the world).
+  void setCushion(double cushion) noexcept { ctx_->config.cushion = cushion; }
+
+  /// Deterministic RNG stream for experiment drivers (bench harness).
+  [[nodiscard]] sim::Rng forkRng(std::string_view label) const {
+    return rng_.fork(label);
+  }
+
+ private:
+  void buildSystem(const SimulationConfig& config);
+
+  SimulationConfig config_;
+  std::unique_ptr<trace::ChurnTrace> trace_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<NodeId> ids_;
+
+  std::unique_ptr<avmon::OracleAvailabilityService> oracle_;
+  std::unique_ptr<avmon::AvmonSystem> avmonSystem_;
+  std::unique_ptr<avmon::AvailabilityService> serviceOwned_;
+  avmon::AvailabilityService* service_ = nullptr;
+
+  std::unique_ptr<avmon::ShuffleService> shuffle_;
+  std::unique_ptr<AvmemPredicate> predicate_;
+  std::unique_ptr<hashing::CachingPairHasher> pairHash_;
+  std::unique_ptr<ProtocolContext> ctx_;
+  std::vector<AvmemNode> nodes_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> discoveryTasks_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> refreshTasks_;
+  std::unique_ptr<AnycastEngine> anycastEngine_;
+  std::unique_ptr<MulticastEngine> multicastEngine_;
+  sim::Rng rng_;
+  bool started_ = false;
+};
+
+}  // namespace avmem::core

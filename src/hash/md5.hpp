@@ -1,0 +1,58 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper offers MD-5 as an alternative to SHA-1 for the normalized hash
+// H in eq. 1; we provide both so the predicate hash is pluggable. Like
+// SHA-1 here, MD5 serves as a consistent pseudo-random function only.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace avmem::hashing {
+
+/// A 128-bit MD5 digest.
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 hasher, same contract as `Sha1`.
+class Md5 {
+ public:
+  Md5() noexcept { reset(); }
+
+  /// Re-initialize to the empty-message state.
+  void reset() noexcept;
+
+  /// Absorb `data` into the hash state.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Convenience overload for string payloads.
+  void update(std::string_view data) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+
+  /// Apply padding and produce the digest; `reset()` before reuse.
+  [[nodiscard]] Md5Digest finish() noexcept;
+
+ private:
+  void processBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t totalBytes_ = 0;
+  std::size_t bufferLen_ = 0;
+};
+
+/// One-shot MD5 of a byte span.
+[[nodiscard]] Md5Digest md5(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot MD5 of a string payload.
+[[nodiscard]] Md5Digest md5(std::string_view data) noexcept;
+
+/// Lower-case hexadecimal rendering of a digest (32 chars).
+[[nodiscard]] std::string toHex(const Md5Digest& digest);
+
+}  // namespace avmem::hashing

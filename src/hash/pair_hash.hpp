@@ -1,0 +1,101 @@
+// The consistent pair hash H(id(x), id(y)) at the heart of the AVMEM
+// predicate (paper eq. 1), plus a per-node caching wrapper.
+//
+// H must be (a) fixed and well-known, so that any third party can verify a
+// membership claim, and (b) order-sensitive: the relation M(x, y) is
+// directional ("y is a valid entry in x's membership list"). We hash the
+// concatenation of the two identifiers' wire encodings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "hash/md5.hpp"
+#include "hash/normalized.hpp"
+#include "hash/sha1.hpp"
+
+namespace avmem::hashing {
+
+/// Which digest backs the pair hash. Both satisfy the paper's requirement;
+/// SHA-1 is the default used throughout the evaluation.
+enum class PairHashAlgorithm : std::uint8_t {
+  kSha1,
+  kMd5,
+};
+
+/// Computes H(a, b) in [0, 1) from two identifier wire encodings.
+///
+/// The hash is a pure function of (algorithm, a, b): no system state, no
+/// external inputs — this is what makes the AVMEM predicate *consistent*.
+class PairHasher {
+ public:
+  explicit PairHasher(
+      PairHashAlgorithm algorithm = PairHashAlgorithm::kSha1) noexcept
+      : algorithm_(algorithm) {}
+
+  /// H(a, b). Note H(a, b) != H(b, a) in general (directional relation).
+  [[nodiscard]] double operator()(std::span<const std::uint8_t> a,
+                                  std::span<const std::uint8_t> b) const
+      noexcept {
+    switch (algorithm_) {
+      case PairHashAlgorithm::kMd5: {
+        Md5 h;
+        h.update(a);
+        h.update(b);
+        return normalizeDigest(h.finish());
+      }
+      case PairHashAlgorithm::kSha1:
+      default: {
+        Sha1 h;
+        h.update(a);
+        h.update(b);
+        return normalizeDigest(h.finish());
+      }
+    }
+  }
+
+  [[nodiscard]] PairHashAlgorithm algorithm() const noexcept {
+    return algorithm_;
+  }
+
+ private:
+  PairHashAlgorithm algorithm_;
+};
+
+/// Memoizing wrapper keyed by a caller-supplied 64-bit pair key.
+///
+/// Discovery re-evaluates the predicate for the same (x, y) pairs every
+/// protocol period; because H is consistent, cached values never go stale.
+/// Each simulated node owns one cache, keyed by the peer's dense index.
+class CachingPairHasher {
+ public:
+  explicit CachingPairHasher(
+      PairHashAlgorithm algorithm = PairHashAlgorithm::kSha1) noexcept
+      : hasher_(algorithm) {}
+
+  /// H(a, b), memoized under `pairKey`. The caller guarantees that
+  /// `pairKey` uniquely identifies the (a, b) pair.
+  [[nodiscard]] double hash(std::uint64_t pairKey,
+                            std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) {
+    if (const auto it = cache_.find(pairKey); it != cache_.end()) {
+      return it->second;
+    }
+    const double v = hasher_(a, b);
+    cache_.emplace(pairKey, v);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t cacheSize() const noexcept {
+    return cache_.size();
+  }
+
+  void clear() noexcept { cache_.clear(); }
+
+ private:
+  PairHasher hasher_;
+  std::unordered_map<std::uint64_t, double> cache_;
+};
+
+}  // namespace avmem::hashing

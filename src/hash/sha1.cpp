@@ -1,0 +1,149 @@
+#include "hash/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace avmem::hashing {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t v, int s) noexcept {
+  return std::rotl(v, s);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  totalBytes_ = 0;
+  bufferLen_ = 0;
+}
+
+void Sha1::processBlock(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[i * 4]} << 24) |
+           (std::uint32_t{block[i * 4 + 1]} << 16) |
+           (std::uint32_t{block[i * 4 + 2]} << 8) |
+           std::uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f = 0;
+    std::uint32_t k = 0;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  totalBytes_ += data.size();
+  std::size_t offset = 0;
+
+  if (bufferLen_ > 0) {
+    const std::size_t need = 64 - bufferLen_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + bufferLen_, data.data(), take);
+    bufferLen_ += take;
+    offset += take;
+    if (bufferLen_ == 64) {
+      processBlock(buffer_.data());
+      bufferLen_ = 0;
+    }
+  }
+
+  while (offset + 64 <= data.size()) {
+    processBlock(data.data() + offset);
+    offset += 64;
+  }
+
+  if (offset < data.size()) {
+    const std::size_t rest = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, rest);
+    bufferLen_ = rest;
+  }
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bitLen = totalBytes_ * 8;
+
+  // Append the mandatory 0x80 terminator then zero-pad to 56 mod 64.
+  const std::uint8_t terminator = 0x80;
+  update(std::span<const std::uint8_t>(&terminator, 1));
+  const std::uint8_t zero = 0x00;
+  while (bufferLen_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+
+  std::uint8_t lenBytes[8];
+  for (int i = 0; i < 8; ++i) {
+    lenBytes[i] = static_cast<std::uint8_t>(bitLen >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(lenBytes, 8));
+
+  Sha1Digest digest{};
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1Digest sha1(std::string_view data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+std::string toHex(const Sha1Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (const std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace avmem::hashing

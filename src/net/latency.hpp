@@ -1,0 +1,67 @@
+// Per-hop latency models for the simulated network.
+//
+// The paper draws each virtual-hop latency "uniformly at random from the
+// interval [20ms, 80ms]" (Figure 9); UniformLatency is the default model.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace avmem::net {
+
+/// Strategy interface: one-way message latency for a single hop.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Draw the latency of one message.
+  [[nodiscard]] virtual sim::SimDuration sample(sim::Rng& rng) = 0;
+};
+
+/// Uniform latency on [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(sim::SimDuration lo, sim::SimDuration hi) : lo_(lo), hi_(hi) {
+    if (lo > hi || lo < sim::SimDuration::zero()) {
+      throw std::invalid_argument("UniformLatency: bad range");
+    }
+  }
+
+  [[nodiscard]] sim::SimDuration sample(sim::Rng& rng) override {
+    const auto span = hi_.toMicros() - lo_.toMicros();
+    if (span == 0) return lo_;
+    return lo_ + sim::SimDuration::micros(
+                     static_cast<std::int64_t>(rng.below(
+                         static_cast<std::uint64_t>(span) + 1)));
+  }
+
+ private:
+  sim::SimDuration lo_;
+  sim::SimDuration hi_;
+};
+
+/// Fixed latency (useful in tests where timing must be exact).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(sim::SimDuration d) : d_(d) {
+    if (d < sim::SimDuration::zero()) {
+      throw std::invalid_argument("ConstantLatency: negative");
+    }
+  }
+
+  [[nodiscard]] sim::SimDuration sample(sim::Rng&) override { return d_; }
+
+ private:
+  sim::SimDuration d_;
+};
+
+/// The paper's default hop-latency distribution: U[20ms, 80ms].
+[[nodiscard]] inline std::unique_ptr<LatencyModel> paperDefaultLatency() {
+  return std::make_unique<UniformLatency>(sim::SimDuration::millis(20),
+                                          sim::SimDuration::millis(80));
+}
+
+}  // namespace avmem::net

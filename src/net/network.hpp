@@ -1,0 +1,151 @@
+// The simulated message-passing network.
+//
+// Semantics:
+//  * every send takes one latency sample and is delivered as a simulator
+//    event at now + latency;
+//  * delivery succeeds only if the destination is online at the delivery
+//    instant (the churn trace is the oracle) — otherwise the message is
+//    silently dropped, exactly like a UDP datagram to a dead host;
+//  * senders that need failure detection use `sendWithAck`, which models a
+//    request/ack exchange with a timeout (retried-greedy anycast relies on
+//    this, paper Section 3.2).
+//
+// The network also keeps global accounting (sent / delivered / dropped /
+// bytes) used by the overhead analyses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/latency.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace avmem::net {
+
+/// Dense node address within one simulation.
+using NodeIndex = std::uint32_t;
+
+/// Answers "is node n online right now?" — implemented by the simulation
+/// harness over the churn trace.
+using OnlineOracle = std::function<bool(NodeIndex)>;
+
+/// Network-level counters.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t droppedOffline = 0;
+  std::uint64_t acksSent = 0;
+  std::uint64_t ackTimeouts = 0;
+  std::uint64_t bytesSent = 0;
+};
+
+/// The message-passing fabric shared by all simulated nodes.
+class Network {
+ public:
+  /// Called at the delivery instant with the delivery time.
+  using DeliveryFn = std::function<void(sim::SimTime)>;
+
+  Network(sim::Simulator& sim, OnlineOracle online,
+          std::unique_ptr<LatencyModel> latency, sim::Rng rng)
+      : sim_(sim),
+        online_(std::move(online)),
+        latency_(std::move(latency)),
+        rng_(rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Fire-and-forget datagram. `onDeliver` runs only if `dst` is online at
+  /// the delivery instant. `approxBytes` feeds the bandwidth accounting.
+  void send(NodeIndex dst, DeliveryFn onDeliver,
+            std::size_t approxBytes = kDefaultMessageBytes) {
+    ++stats_.sent;
+    stats_.bytesSent += approxBytes;
+    const sim::SimDuration lat = latency_->sample(rng_);
+    sim_.schedule(lat, [this, dst, fn = std::move(onDeliver)] {
+      if (!online_(dst)) {
+        ++stats_.droppedOffline;
+        return;
+      }
+      ++stats_.delivered;
+      fn(sim_.now());
+    });
+  }
+
+  /// Called at the delivery instant; returns whether the receiver accepts
+  /// the message (an ack is sent only on acceptance, so a rejecting
+  /// receiver looks exactly like an offline one to the sender).
+  using AckedDeliveryFn = std::function<bool(sim::SimTime)>;
+
+  /// Request/ack exchange: deliver to `dst`; if `dst` is online and
+  /// `onDeliver` returns true, an ack travels back (one more latency
+  /// sample) and `onAck` runs at the sender. If no ack arrives within
+  /// `timeout`, `onTimeout` runs instead. Exactly one of
+  /// `onAck` / `onTimeout` fires.
+  void sendWithAck(NodeIndex dst, AckedDeliveryFn onDeliver,
+                   std::function<void()> onAck,
+                   std::function<void()> onTimeout, sim::SimDuration timeout,
+                   std::size_t approxBytes = kDefaultMessageBytes) {
+    ++stats_.sent;
+    stats_.bytesSent += approxBytes;
+
+    // Shared flag: whichever of {ack, timeout} fires first wins.
+    auto settled = std::make_shared<bool>(false);
+
+    sim_.schedule(timeout, [this, settled, fnTimeout = std::move(onTimeout)] {
+      if (*settled) return;
+      *settled = true;
+      ++stats_.ackTimeouts;
+      fnTimeout();
+    });
+
+    const sim::SimDuration lat = latency_->sample(rng_);
+    sim_.schedule(lat, [this, dst, settled, fnDeliver = std::move(onDeliver),
+                        fnAck = std::move(onAck)]() mutable {
+      if (!online_(dst)) {
+        ++stats_.droppedOffline;
+        return;  // no ack will ever come; the timeout will fire
+      }
+      ++stats_.delivered;
+      if (!fnDeliver(sim_.now())) {
+        return;  // receiver rejected: no ack; the timeout will fire
+      }
+      // Ack travels back with an independent latency sample.
+      ++stats_.acksSent;
+      stats_.bytesSent += kAckBytes;
+      const sim::SimDuration back = latency_->sample(rng_);
+      sim_.schedule(back, [settled, fnAck = std::move(fnAck)] {
+        if (*settled) return;
+        *settled = true;
+        fnAck();
+      });
+    });
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = NetworkStats{}; }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Is `n` online right now (exposed for protocol-level checks)?
+  [[nodiscard]] bool isOnline(NodeIndex n) const { return online_(n); }
+
+  /// Rough wire sizes used for accounting; 20 B per membership entry per
+  /// the paper's overhead estimate, plus small headers.
+  static constexpr std::size_t kDefaultMessageBytes = 64;
+  static constexpr std::size_t kAckBytes = 16;
+  static constexpr std::size_t kMembershipEntryBytes = 20;
+
+ private:
+  sim::Simulator& sim_;
+  OnlineOracle online_;
+  std::unique_ptr<LatencyModel> latency_;
+  sim::Rng rng_;
+  NetworkStats stats_;
+};
+
+}  // namespace avmem::net

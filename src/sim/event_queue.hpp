@@ -1,0 +1,103 @@
+// The discrete-event priority queue.
+//
+// Events at equal timestamps fire in scheduling order (a stable tiebreak via
+// a monotone sequence number), which keeps runs deterministic. Implemented
+// over std::*_heap directly (rather than std::priority_queue) so popped
+// events can be moved out of the heap storage.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace avmem::sim {
+
+/// Handle that can cancel a scheduled event.
+///
+/// Cancellation is lazy: the queue drops cancelled events when they are
+/// popped. Handles are cheap to copy and safe to hold after firing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event; a no-op if it has already fired or been cancelled.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) noexcept
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timestamped callbacks with stable FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `at`. Returns a cancel handle.
+  EventHandle schedule(SimTime at, Callback fn) {
+    auto alive = std::make_shared<bool>(true);
+    heap_.push_back(Event{at, nextSeq_++, alive, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return EventHandle{std::move(alive)};
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event; requires !empty().
+  [[nodiscard]] SimTime nextTime() const { return heap_.front().at; }
+
+  /// Pop and return the earliest event, skipping cancelled ones.
+  /// Returns false if the queue drained.
+  bool popNext(SimTime& at, Callback& fn) {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Event ev = std::move(heap_.back());
+      heap_.pop_back();
+      if (!*ev.alive) continue;  // lazily dropped cancellation
+      *ev.alive = false;         // mark fired
+      at = ev.at;
+      fn = std::move(ev.fn);
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of events scheduled over the queue's lifetime.
+  [[nodiscard]] std::uint64_t totalScheduled() const noexcept {
+    return nextSeq_;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::shared_ptr<bool> alive;
+    Callback fn;
+  };
+
+  // Max-heap comparator inverted to produce a min-heap on (at, seq).
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace avmem::sim

@@ -1,0 +1,35 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace avmem::sim {
+
+std::string SimTime::toString() const {
+  char buf[64];
+  const std::int64_t us = us_;
+  if (us < 0) {
+    return "-" + SimTime::micros(-us).toString();
+  }
+  if (us < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  } else if (us < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else if (us < 60'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(us) / 1e6);
+  } else if (us < 3'600'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%lldm%02llds",
+                  static_cast<long long>(us / 60'000'000),
+                  static_cast<long long>((us / 1'000'000) % 60));
+  } else if (us < 86'400'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%lldh%02lldm",
+                  static_cast<long long>(us / 3'600'000'000LL),
+                  static_cast<long long>((us / 60'000'000) % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldd%02lldh",
+                  static_cast<long long>(us / 86'400'000'000LL),
+                  static_cast<long long>((us / 3'600'000'000LL) % 24));
+  }
+  return buf;
+}
+
+}  // namespace avmem::sim

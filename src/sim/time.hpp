@@ -1,0 +1,95 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds since simulation start. Integer
+// ticks keep event ordering exact and runs bit-reproducible; helpers convert
+// to/from the units the paper speaks in (ms latencies, minute protocol
+// periods, 20-minute trace epochs, multi-day traces).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace avmem::sim {
+
+/// A point in simulated time (microsecond resolution).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) noexcept {
+    return SimTime{us};
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) noexcept {
+    return SimTime{ms * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) noexcept {
+    return SimTime{s * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime minutes(std::int64_t m) noexcept {
+    return SimTime{m * 60'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime hours(std::int64_t h) noexcept {
+    return SimTime{h * 3'600'000'000LL};
+  }
+  [[nodiscard]] static constexpr SimTime days(std::int64_t d) noexcept {
+    return SimTime{d * 86'400'000'000LL};
+  }
+  /// Construct from fractional seconds (rounded to microseconds).
+  [[nodiscard]] static constexpr SimTime fromSeconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t toMicros() const noexcept {
+    return us_;
+  }
+  [[nodiscard]] constexpr double toMillis() const noexcept {
+    return static_cast<double>(us_) / 1e3;
+  }
+  [[nodiscard]] constexpr double toSeconds() const noexcept {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double toMinutes() const noexcept {
+    return static_cast<double>(us_) / 60e6;
+  }
+  [[nodiscard]] constexpr double toHours() const noexcept {
+    return static_cast<double>(us_) / 3600e6;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.us_ - b.us_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept {
+    return SimTime{a.us_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) noexcept {
+    return SimTime{a.us_ * k};
+  }
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) noexcept {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  /// Human-readable rendering, e.g. "2d03h12m" or "421.5ms".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A duration is represented by the same type as a time point; contexts
+/// make the distinction clear and arithmetic stays trivial.
+using SimDuration = SimTime;
+
+}  // namespace avmem::sim

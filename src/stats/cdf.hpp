@@ -1,0 +1,90 @@
+// Empirical cumulative distribution over collected samples.
+//
+// The paper reports multicast latency / spam / reliability as CDFs
+// (Figures 11-13); this type backs those plots and the quantile helpers
+// used across the bench harness.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace avmem::stats {
+
+/// Collects samples and answers quantile / fraction-below queries.
+///
+/// Samples are sorted lazily on first query after a mutation.
+class EmpiricalCdf {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  void add(const std::vector<double>& xs) {
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double fractionBelow(double x) const {
+    ensureSorted();
+    if (samples_.empty()) return 0.0;
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// q-quantile via nearest-rank, q in [0, 1]. Throws when empty.
+  [[nodiscard]] double quantile(double q) const {
+    ensureSorted();
+    if (samples_.empty()) {
+      throw std::logic_error("EmpiricalCdf::quantile on empty CDF");
+    }
+    if (q <= 0.0) return samples_.front();
+    if (q >= 1.0) return samples_.back();
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size()));
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Sorted copy of the samples (for plotting full CDF curves).
+  [[nodiscard]] std::vector<double> sortedSamples() const {
+    ensureSorted();
+    return samples_;
+  }
+
+  void clear() noexcept {
+    samples_.clear();
+    sorted_ = true;
+  }
+
+ private:
+  void ensureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace avmem::stats

@@ -1,0 +1,125 @@
+// Fixed-bin histogram over a closed interval.
+//
+// Used both for the discretized availability PDF the AVMEM predicates
+// consume (paper Section 2.1: "a discretized PDF distribution of the system
+// created from a small sample set of nodes") and for bench-harness output.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace avmem::stats {
+
+/// A histogram of `binCount` equal-width bins spanning [lo, hi].
+///
+/// Values outside [lo, hi] are clamped into the boundary bins, so a sample
+/// at exactly `hi` lands in the last bin (availability 1.0 is legal).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t binCount)
+      : lo_(lo), hi_(hi), counts_(binCount, 0) {
+    if (!(lo < hi)) {
+      throw std::invalid_argument("Histogram: lo must be < hi");
+    }
+    if (binCount == 0) {
+      throw std::invalid_argument("Histogram: need at least one bin");
+    }
+  }
+
+  /// Add one sample.
+  void add(double value) noexcept {
+    ++counts_[binIndex(value)];
+    ++total_;
+  }
+
+  /// Add `n` samples at the same value.
+  void add(double value, std::uint64_t n) noexcept {
+    counts_[binIndex(value)] += n;
+    total_ += n;
+  }
+
+  /// Bin index containing `value` (clamped).
+  [[nodiscard]] std::size_t binIndex(double value) const noexcept {
+    if (value <= lo_) return 0;
+    if (value >= hi_) return counts_.size() - 1;
+    const double frac = (value - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(frac *
+                                        static_cast<double>(counts_.size()));
+    return idx >= counts_.size() ? counts_.size() - 1 : idx;
+  }
+
+  [[nodiscard]] std::size_t binCount() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double binWidth() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+
+  /// Inclusive lower edge of bin `i`.
+  [[nodiscard]] double binLo(std::size_t i) const noexcept {
+    return lo_ + binWidth() * static_cast<double>(i);
+  }
+  /// Exclusive upper edge of bin `i` (inclusive for the last bin).
+  [[nodiscard]] double binHi(std::size_t i) const noexcept {
+    return lo_ + binWidth() * static_cast<double>(i + 1);
+  }
+  /// Midpoint of bin `i`.
+  [[nodiscard]] double binMid(std::size_t i) const noexcept {
+    return binLo(i) + binWidth() / 2;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::uint64_t totalCount() const noexcept { return total_; }
+
+  /// Fraction of all samples in bin `i`; 0 if the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t i) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+  }
+
+  /// Fraction of samples with value <= `v` (bin-resolution CDF).
+  [[nodiscard]] double cdfAt(double v) const noexcept {
+    if (total_ == 0) return 0.0;
+    if (v < lo_) return 0.0;
+    std::uint64_t acc = 0;
+    const std::size_t idx = binIndex(v);
+    for (std::size_t i = 0; i <= idx; ++i) acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+  }
+
+  /// Probability *density* at `v`: fraction(bin) / binWidth.
+  [[nodiscard]] double densityAt(double v) const noexcept {
+    if (total_ == 0) return 0.0;
+    return fraction(binIndex(v)) / binWidth();
+  }
+
+  /// Merge another histogram with identical geometry.
+  void merge(const Histogram& other) {
+    if (other.binCount() != binCount() || other.lo_ != lo_ ||
+        other.hi_ != hi_) {
+      throw std::invalid_argument("Histogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
+  void clear() noexcept {
+    for (auto& c : counts_) c = 0;
+    total_ = 0;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace avmem::stats

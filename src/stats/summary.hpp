@@ -1,0 +1,80 @@
+// Running summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace avmem::stats {
+
+/// Single-pass mean / variance / min / max accumulator.
+///
+/// Numerically stable (Welford); O(1) memory, suitable for very long
+/// simulation runs.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Sample (Bessel-corrected) variance; 0 for fewer than two samples.
+  [[nodiscard]] double sampleVariance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// Combine two summaries (parallel Welford merge).
+  void merge(const Summary& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace avmem::stats

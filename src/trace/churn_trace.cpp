@@ -1,0 +1,59 @@
+#include "trace/churn_trace.hpp"
+
+namespace avmem::trace {
+
+ChurnTrace::ChurnTrace(std::vector<std::vector<std::uint8_t>> timeline,
+                       sim::SimDuration epochDuration)
+    : online_(std::move(timeline)), epochDuration_(epochDuration) {
+  if (online_.empty()) {
+    throw std::invalid_argument("ChurnTrace: no hosts");
+  }
+  if (epochDuration <= sim::SimDuration::zero()) {
+    throw std::invalid_argument("ChurnTrace: non-positive epoch duration");
+  }
+  epochs_ = online_.front().size();
+  if (epochs_ == 0) {
+    throw std::invalid_argument("ChurnTrace: no epochs");
+  }
+  uptimePrefix_.reserve(online_.size());
+  for (const auto& row : online_) {
+    if (row.size() != epochs_) {
+      throw std::invalid_argument("ChurnTrace: ragged timeline");
+    }
+    std::vector<std::uint32_t> prefix(epochs_ + 1, 0);
+    for (std::size_t e = 0; e < epochs_; ++e) {
+      prefix[e + 1] = prefix[e] + (row[e] ? 1u : 0u);
+    }
+    uptimePrefix_.push_back(std::move(prefix));
+  }
+}
+
+std::vector<HostIndex> ChurnTrace::onlineHostsInEpoch(std::size_t e) const {
+  std::vector<HostIndex> out;
+  for (HostIndex h = 0; h < online_.size(); ++h) {
+    if (online_[h].at(e)) out.push_back(h);
+  }
+  return out;
+}
+
+std::size_t ChurnTrace::onlineCountInEpoch(std::size_t e) const {
+  std::size_t n = 0;
+  for (const auto& row : online_) {
+    if (row.at(e)) ++n;
+  }
+  return n;
+}
+
+double ChurnTrace::windowedAvailability(HostIndex h, std::size_t e,
+                                        std::size_t w) const {
+  if (w == 0) {
+    throw std::invalid_argument("windowedAvailability: empty window");
+  }
+  const auto& prefix = uptimePrefix_.at(h);
+  const std::size_t last = e >= epochs_ ? epochs_ - 1 : e;
+  const std::size_t first = (last + 1 >= w) ? (last + 1 - w) : 0;
+  return static_cast<double>(prefix[last + 1] - prefix[first]) /
+         static_cast<double>(last + 1 - first);
+}
+
+}  // namespace avmem::trace

@@ -1,0 +1,29 @@
+// Plain-text serialization of churn traces.
+//
+// Users with access to the real Overnet traces (or any other availability
+// trace) can convert them to this format and feed them to every bench and
+// example unchanged. Format:
+//
+//   AVMEM-TRACE v1
+//   hosts <H> epochs <E> epoch_us <D>
+//   <H lines of E characters, each '0' (offline) or '1' (online)>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/churn_trace.hpp"
+
+namespace avmem::trace {
+
+/// Serialize `trace` to `os`. Throws std::ios_base::failure on I/O error.
+void saveTrace(std::ostream& os, const ChurnTrace& trace);
+
+/// Parse a trace from `is`. Throws std::runtime_error on malformed input.
+[[nodiscard]] ChurnTrace loadTrace(std::istream& is);
+
+/// Convenience file wrappers.
+void saveTraceFile(const std::string& path, const ChurnTrace& trace);
+[[nodiscard]] ChurnTrace loadTraceFile(const std::string& path);
+
+}  // namespace avmem::trace

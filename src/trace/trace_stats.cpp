@@ -1,0 +1,68 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+namespace avmem::trace {
+
+TraceStats characterizeTrace(const ChurnTrace& trace) {
+  TraceStats out;
+
+  const std::size_t hosts = trace.hostCount();
+  const std::size_t epochs = trace.epochCount();
+
+  std::size_t below03 = 0;
+  for (HostIndex h = 0; h < hosts; ++h) {
+    const double a = trace.fullAvailability(h);
+    out.availabilityMarginal.add(a);
+    if (a < 0.3) ++below03;
+
+    // Run-length encode the host's timeline into sessions and absences.
+    std::size_t runLen = 0;
+    bool runOn = trace.onlineInEpoch(h, 0);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      const bool on = trace.onlineInEpoch(h, e);
+      if (on == runOn) {
+        ++runLen;
+        continue;
+      }
+      (runOn ? out.sessionEpochs : out.absenceEpochs)
+          .add(static_cast<double>(runLen));
+      runOn = on;
+      runLen = 1;
+    }
+    // Terminal run is censored (the trace ended mid-run); recording it
+    // anyway matches how measurement studies report sessions.
+    (runOn ? out.sessionEpochs : out.absenceEpochs)
+        .add(static_cast<double>(runLen));
+  }
+  out.fractionBelow03 =
+      static_cast<double>(below03) / static_cast<double>(hosts);
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    out.onlinePerEpoch.add(static_cast<double>(trace.onlineCountInEpoch(e)));
+  }
+
+  // Diurnal profile: average online fraction per epoch-of-day slot.
+  const auto epochsPerDay = static_cast<std::size_t>(
+      sim::SimDuration::days(1).toMicros() /
+      trace.epochDuration().toMicros());
+  if (epochsPerDay > 0 && epochs >= epochsPerDay) {
+    std::vector<double> sum(epochsPerDay, 0.0);
+    std::vector<std::size_t> count(epochsPerDay, 0);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      const std::size_t slot = e % epochsPerDay;
+      sum[slot] += static_cast<double>(trace.onlineCountInEpoch(e)) /
+                   static_cast<double>(hosts);
+      ++count[slot];
+    }
+    out.diurnalProfile.resize(epochsPerDay);
+    for (std::size_t s = 0; s < epochsPerDay; ++s) {
+      out.diurnalProfile[s] =
+          count[s] ? sum[s] / static_cast<double>(count[s]) : 0.0;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace avmem::trace

@@ -1,0 +1,54 @@
+// Churn-trace characterization.
+//
+// Computes the statistics the measurement literature (Bhagwan et al. [3])
+// reports for availability traces: the availability marginal, session-
+// and absence-length distributions, per-epoch online population, and the
+// diurnal profile. Used to validate synthetic traces against the real
+// Overnet characterization (tests) and to document any trace fed to the
+// system (bench/trace_characterization, examples/tracegen).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace avmem::trace {
+
+/// Aggregate characterization of one churn trace.
+struct TraceStats {
+  /// Long-term (full-trace) availability of every host.
+  stats::Histogram availabilityMarginal{0.0, 1.0, 20};
+  /// Fraction of hosts with full-trace availability below 0.3 (the
+  /// Overnet headline number is ~0.5).
+  double fractionBelow03 = 0.0;
+  /// Online-session lengths, in epochs.
+  stats::EmpiricalCdf sessionEpochs;
+  /// Offline-absence lengths, in epochs.
+  stats::EmpiricalCdf absenceEpochs;
+  /// Online population per epoch.
+  stats::Summary onlinePerEpoch;
+  /// Mean online fraction per epoch-of-day slot (diurnal profile);
+  /// empty when the trace is shorter than one day.
+  std::vector<double> diurnalProfile;
+
+  /// Peak-to-trough ratio of the diurnal profile (1.0 = flat).
+  [[nodiscard]] double diurnalSwing() const {
+    if (diurnalProfile.empty()) return 1.0;
+    double lo = diurnalProfile.front();
+    double hi = lo;
+    for (const double v : diurnalProfile) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return lo > 0.0 ? hi / lo : 1.0;
+  }
+};
+
+/// Compute the full characterization of `trace`.
+[[nodiscard]] TraceStats characterizeTrace(const ChurnTrace& trace);
+
+}  // namespace avmem::trace

@@ -1,0 +1,122 @@
+#include "avmon/aged_availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::avmon {
+namespace {
+
+trace::ChurnTrace stepTrace() {
+  // Host 0: online for 100 epochs, then offline for 100 (a step change).
+  // Host 1: always online. 20-minute epochs.
+  std::vector<std::vector<std::uint8_t>> rows(2);
+  for (int e = 0; e < 200; ++e) {
+    rows[0].push_back(e < 100 ? 1 : 0);
+    rows[1].push_back(1);
+  }
+  return trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20));
+}
+
+TEST(AgedAvailabilityTest, RejectsBadAlpha) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  EXPECT_THROW(AgedAvailabilityService(t, sim, 0.0), std::invalid_argument);
+  EXPECT_THROW(AgedAvailabilityService(t, sim, 1.5), std::invalid_argument);
+}
+
+TEST(AgedAvailabilityTest, NoEstimateBeforeFirstEpochCompletes) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService svc(t, sim, 0.1);
+  EXPECT_FALSE(svc.query(0, 0).has_value());
+}
+
+TEST(AgedAvailabilityTest, SteadyHostConvergesToOne) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService svc(t, sim, 0.1);
+  sim.runUntil(sim::SimTime::minutes(20 * 150));
+  EXPECT_DOUBLE_EQ(*svc.query(0, 1), 1.0);
+}
+
+TEST(AgedAvailabilityTest, TracksStepChangeFasterThanRaw) {
+  // After the step (host 0 goes dark at epoch 100), the aged estimate
+  // must fall well below the raw lifetime availability.
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService aged(t, sim, 0.1);
+  OracleAvailabilityService raw(t, sim);
+
+  sim.runUntil(sim::SimTime::minutes(20 * 160));  // 60 epochs after step
+  const double agedV = *aged.query(0, 0);
+  const double rawV = *raw.query(0, 0);
+  EXPECT_GT(rawV, 0.55);   // raw still remembers the good era
+  EXPECT_LT(agedV, 0.05);  // aged has nearly forgotten it
+}
+
+TEST(AgedAvailabilityTest, SmallAlphaApproachesRawBehaviour) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService slow(t, sim, 0.005);
+  AgedAvailabilityService fast(t, sim, 0.5);
+  sim.runUntil(sim::SimTime::minutes(20 * 120));  // shortly after the step
+  // Small alpha retains more of the online era than large alpha.
+  EXPECT_GT(*slow.query(0, 0), *fast.query(0, 0));
+}
+
+TEST(AgedAvailabilityTest, EstimatesAreQuerierIndependent) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService svc(t, sim, 0.1);
+  sim.runUntil(sim::SimTime::minutes(20 * 50));
+  EXPECT_DOUBLE_EQ(*svc.query(0, 1), *svc.query(1, 1));
+}
+
+TEST(CentralizedAvailabilityTest, RejectsNonPositivePeriod) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  EXPECT_THROW(
+      CentralizedAvailabilityService(t, sim, sim::SimDuration::zero()),
+      std::invalid_argument);
+}
+
+TEST(CentralizedAvailabilityTest, NoAnswerBeforeFirstCrawl) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  CentralizedAvailabilityService svc(t, sim, sim::SimDuration::hours(2));
+  sim.runUntil(sim::SimTime::minutes(30));
+  EXPECT_FALSE(svc.query(0, 0).has_value());
+}
+
+TEST(CentralizedAvailabilityTest, AnswersAreSnapshotStale) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  CentralizedAvailabilityService svc(t, sim, sim::SimDuration::hours(10));
+  OracleAvailabilityService oracle(t, sim);
+
+  // Crawl happens at t = 10h (epoch 30). Query at t = 19h (epoch 57):
+  // the centralized answer equals the oracle's value *at the crawl*.
+  sim.runUntil(sim::SimTime::hours(19));
+  const double central = *svc.query(0, 1);
+  EXPECT_DOUBLE_EQ(central, 1.0);  // host 1 always on, trivially stale-safe
+
+  // Host 0's raw availability changes after the step; the snapshot value
+  // at 30h vs live value at 39h differ.
+  sim.runUntil(sim::SimTime::hours(39));
+  CentralizedAvailabilityService svc2(t, sim, sim::SimDuration::hours(30));
+  const double snap = *svc2.query(0, 0);   // value as of 30h (epoch 90)
+  const double live = *oracle.query(0, 0); // value at 39h (epoch 117)
+  EXPECT_GT(snap, live);  // host 0 looked better at crawl time
+}
+
+TEST(CentralizedAvailabilityTest, PerfectlyConsistentAcrossQueriers) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  CentralizedAvailabilityService svc(t, sim, sim::SimDuration::hours(2));
+  sim.runUntil(sim::SimTime::hours(13));
+  for (net::NodeIndex q = 0; q < 10; ++q) {
+    EXPECT_DOUBLE_EQ(*svc.query(q, 0), *svc.query((q + 1) % 10, 0));
+  }
+}
+
+}  // namespace
+}  // namespace avmem::avmon

@@ -1,0 +1,105 @@
+// CYCLON failure handling: unresponsive shuffle partners are evicted, so
+// views grow online-biased over time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "avmon/shuffle_service.hpp"
+#include "net/latency.hpp"
+
+namespace avmem::avmon {
+namespace {
+
+TEST(ShuffleEvictionTest, DeadPartnersGetPurgedFromViews) {
+  sim::Simulator sim;
+  // Nodes 0-31 alive, 32-63 permanently dead.
+  std::vector<std::uint8_t> online(64, 1);
+  for (int i = 32; i < 64; ++i) online[i] = 0;
+
+  net::Network network(
+      sim, [&online](net::NodeIndex n) { return online[n] != 0; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(40)),
+      sim::Rng(2));
+  ShuffleConfig cfg;
+  cfg.viewSize = 8;
+  cfg.period = sim::SimDuration::minutes(1);
+  ShuffleService service(sim, network, 64, cfg, sim::Rng(3));
+  service.start();
+
+  auto deadFraction = [&] {
+    std::size_t dead = 0;
+    std::size_t total = 0;
+    for (net::NodeIndex i = 0; i < 32; ++i) {
+      for (const auto peer : service.viewOf(i)) {
+        ++total;
+        if (peer >= 32) ++dead;
+      }
+    }
+    return total ? static_cast<double>(dead) / static_cast<double>(total)
+                 : 0.0;
+  };
+
+  // Bootstrap views are ~half dead.
+  const double before = deadFraction();
+  EXPECT_GT(before, 0.3);
+
+  sim.runUntil(sim::SimTime::hours(3));
+  const double after = deadFraction();
+  EXPECT_LT(after, before / 2);  // eviction biases views to live nodes
+}
+
+TEST(ShuffleEvictionTest, LiveSystemViewsStayFull) {
+  // With everyone alive, eviction must not shrink views.
+  sim::Simulator sim;
+  net::Network network(
+      sim, [](net::NodeIndex) { return true; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(40)),
+      sim::Rng(4));
+  ShuffleConfig cfg;
+  cfg.viewSize = 8;
+  ShuffleService service(sim, network, 48, cfg, sim::Rng(5));
+  service.start();
+  sim.runUntil(sim::SimTime::hours(2));
+  for (net::NodeIndex i = 0; i < 48; ++i) {
+    EXPECT_GE(service.viewOf(i).size(), 6u) << "view of " << i;
+  }
+}
+
+TEST(ShuffleEvictionTest, ChurningNodeReentersViews) {
+  // A node that goes offline gets purged, then reappears in views after
+  // coming back (it resumes initiating shuffles and advertising itself).
+  sim::Simulator sim;
+  std::vector<std::uint8_t> online(32, 1);
+  net::Network network(
+      sim, [&online](net::NodeIndex n) { return online[n] != 0; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(40)),
+      sim::Rng(6));
+  ShuffleConfig cfg;
+  cfg.viewSize = 6;
+  ShuffleService service(sim, network, 32, cfg, sim::Rng(7));
+  service.start();
+
+  auto inViewCount = [&](net::NodeIndex target) {
+    std::size_t n = 0;
+    for (net::NodeIndex i = 0; i < 32; ++i) {
+      if (i == target) continue;
+      const auto& v = service.viewOf(i);
+      if (std::find(v.begin(), v.end(), target) != v.end()) ++n;
+    }
+    return n;
+  };
+
+  sim.runUntil(sim::SimTime::hours(1));
+  online[5] = 0;  // node 5 leaves
+  sim.runUntil(sim::SimTime::hours(4));
+  const std::size_t whileDead = inViewCount(5);
+
+  online[5] = 1;  // node 5 returns
+  sim.runUntil(sim::SimTime::hours(8));
+  const std::size_t afterReturn = inViewCount(5);
+  EXPECT_GT(afterReturn, whileDead);
+  EXPECT_GT(afterReturn, 2u);
+}
+
+}  // namespace
+}  // namespace avmem::avmon

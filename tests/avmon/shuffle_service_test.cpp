@@ -1,0 +1,113 @@
+#include "avmon/shuffle_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/latency.hpp"
+
+namespace avmem::avmon {
+namespace {
+
+class ShuffleTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 64;
+
+  void build(std::size_t viewSize = 0) {
+    network_ = std::make_unique<net::Network>(
+        sim_, [this](net::NodeIndex n) { return online_[n]; },
+        std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(40)),
+        sim::Rng(2));
+    ShuffleConfig cfg;
+    cfg.viewSize = viewSize;
+    cfg.period = sim::SimDuration::minutes(1);
+    service_ = std::make_unique<ShuffleService>(sim_, *network_, kNodes, cfg,
+                                                sim::Rng(3));
+  }
+
+  sim::Simulator sim_;
+  std::vector<std::uint8_t> online_ = std::vector<std::uint8_t>(kNodes, 1);
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<ShuffleService> service_;
+};
+
+TEST_F(ShuffleTest, DefaultViewSizeIsSqrtN) {
+  build();
+  EXPECT_EQ(service_->viewCapacity(), 8u);  // ceil(sqrt(64))
+}
+
+TEST_F(ShuffleTest, BootstrapViewsAreFullDistinctAndSelfFree) {
+  build(10);
+  service_->start();
+  for (net::NodeIndex i = 0; i < kNodes; ++i) {
+    const auto& view = service_->viewOf(i);
+    EXPECT_EQ(view.size(), 10u);
+    std::set<net::NodeIndex> uniq(view.begin(), view.end());
+    EXPECT_EQ(uniq.size(), view.size()) << "duplicates in view of " << i;
+    EXPECT_FALSE(uniq.contains(i)) << "self-entry in view of " << i;
+  }
+}
+
+TEST_F(ShuffleTest, ViewsNeverExceedCapacityAndStaySelfFree) {
+  build(6);
+  service_->start();
+  sim_.runUntil(sim::SimTime::hours(2));
+  for (net::NodeIndex i = 0; i < kNodes; ++i) {
+    const auto& view = service_->viewOf(i);
+    EXPECT_LE(view.size(), 6u);
+    EXPECT_EQ(std::count(view.begin(), view.end(), i), 0);
+    std::set<net::NodeIndex> uniq(view.begin(), view.end());
+    EXPECT_EQ(uniq.size(), view.size());
+  }
+}
+
+TEST_F(ShuffleTest, ShufflingActuallyHappens) {
+  build(8);
+  service_->start();
+  const auto before = service_->viewOf(0);
+  sim_.runUntil(sim::SimTime::hours(1));
+  EXPECT_GT(service_->completedShuffles(), kNodes * 30);  // ~60 rounds
+  const auto after = service_->viewOf(0);
+  EXPECT_NE(before, after);  // contents churned
+}
+
+TEST_F(ShuffleTest, EventualMixing) {
+  // The service's contract for AVMEM discovery: any given peer eventually
+  // appears in any given node's view. Track how many distinct peers node 0
+  // has ever seen; over enough rounds it must approach the population.
+  build(8);
+  service_->start();
+  std::set<net::NodeIndex> seen;
+  for (int hour = 0; hour < 12; ++hour) {
+    sim_.runUntil(sim::SimTime::hours(hour + 1));
+    const auto& view = service_->viewOf(0);
+    seen.insert(view.begin(), view.end());
+  }
+  // Sampling once per hour at view size 8 over 12 h bounds what we can
+  // observe; seeing most of a 64-node population proves mixing.
+  EXPECT_GT(seen.size(), kNodes / 2);
+}
+
+TEST_F(ShuffleTest, OfflineNodesDoNotInitiate) {
+  build(8);
+  std::fill(online_.begin(), online_.end(), 0);
+  service_->start();
+  sim_.runUntil(sim::SimTime::hours(1));
+  EXPECT_EQ(service_->completedShuffles(), 0u);
+  // All messages (if any) died at offline receivers.
+  EXPECT_EQ(network_->stats().delivered, 0u);
+}
+
+TEST_F(ShuffleTest, RequiresTwoNodes) {
+  ShuffleConfig cfg;
+  net::Network net(
+      sim_, [](net::NodeIndex) { return true; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(1)),
+      sim::Rng(1));
+  EXPECT_THROW(ShuffleService(sim_, net, 1, cfg, sim::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avmem::avmon

@@ -1,0 +1,107 @@
+#include "core/availability_pdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::core {
+namespace {
+
+AvailabilityPdf uniformPdf(double nStar = 1000.0) {
+  // 10 bins, each with equal mass -> density 1.0 everywhere.
+  stats::Histogram h(0.0, 1.0, 10);
+  for (int b = 0; b < 10; ++b) h.add(0.05 + 0.1 * b, 10);
+  return AvailabilityPdf(std::move(h), nStar);
+}
+
+TEST(AvailabilityPdfTest, RejectsBadInputs) {
+  stats::Histogram empty(0.0, 1.0, 10);
+  EXPECT_THROW(AvailabilityPdf(empty, 100.0), std::invalid_argument);
+
+  stats::Histogram wrongSpan(0.0, 2.0, 10);
+  wrongSpan.add(0.5);
+  EXPECT_THROW(AvailabilityPdf(wrongSpan, 100.0), std::invalid_argument);
+
+  stats::Histogram ok(0.0, 1.0, 10);
+  ok.add(0.5);
+  EXPECT_THROW(AvailabilityPdf(ok, 0.0), std::invalid_argument);
+}
+
+TEST(AvailabilityPdfTest, UniformDensity) {
+  const auto pdf = uniformPdf();
+  EXPECT_DOUBLE_EQ(pdf.density(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.density(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.nStar(), 1000.0);
+}
+
+TEST(AvailabilityPdfTest, MassOfFullIntervalIsOne) {
+  const auto pdf = uniformPdf();
+  EXPECT_NEAR(pdf.mass(0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(AvailabilityPdfTest, MassClipsToUnitInterval) {
+  const auto pdf = uniformPdf();
+  EXPECT_NEAR(pdf.mass(-0.5, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.mass(0.5, 1.5), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf.mass(0.9, 0.2), 0.0);  // inverted interval
+}
+
+TEST(AvailabilityPdfTest, PartialBinInterpolation) {
+  const auto pdf = uniformPdf();
+  // Inside one bin: linear share of the bin's mass.
+  EXPECT_NEAR(pdf.mass(0.02, 0.07), 0.05, 1e-12);
+  // Spanning a partial + whole + partial bin.
+  EXPECT_NEAR(pdf.mass(0.05, 0.25), 0.2, 1e-12);
+}
+
+TEST(AvailabilityPdfTest, NStarAvUniform) {
+  const auto pdf = uniformPdf();
+  // +-0.1 of 0.5 covers mass 0.2 -> 200 expected nodes.
+  EXPECT_NEAR(pdf.nStarAv(0.5, 0.1), 200.0, 1e-9);
+  // At the boundary the interval clips: [0.9, 1.0] + nothing above.
+  EXPECT_NEAR(pdf.nStarAv(1.0, 0.1), 100.0, 1e-9);
+}
+
+TEST(AvailabilityPdfTest, NStarMinAvUniformEqualsWindowMass) {
+  const auto pdf = uniformPdf();
+  // Uniform: every width-0.1 window inside [0.4, 0.6] has mass 0.1.
+  EXPECT_NEAR(pdf.nStarMinAv(0.5, 0.1), 100.0, 1.0);
+}
+
+TEST(AvailabilityPdfTest, NStarMinAvPicksTheSparsestWindow) {
+  // Mass concentrated low: bins 0-4 have 90%, bins 5-9 have 10%.
+  stats::Histogram h(0.0, 1.0, 10);
+  for (int b = 0; b < 5; ++b) h.add(0.05 + 0.1 * b, 18);
+  for (int b = 5; b < 10; ++b) h.add(0.05 + 0.1 * b, 2);
+  const AvailabilityPdf pdf(std::move(h), 1000.0);
+
+  // Around 0.5 the interval [0.4, 0.6] straddles dense and sparse halves;
+  // the minimum window must sit in the sparse right half.
+  const double nMin = pdf.nStarMinAv(0.5, 0.1);
+  EXPECT_NEAR(nMin, 1000.0 * 0.02, 2.0);
+}
+
+TEST(AvailabilityPdfTest, NStarMinAvClippedIntervalFallsBack) {
+  const auto pdf = uniformPdf();
+  // At av = 0.0 with eps = 0.1 the interval clips to [0, 0.1] — exactly
+  // one window wide, so the minimum is the interval mass itself.
+  EXPECT_NEAR(pdf.nStarMinAv(0.0, 0.1), 100.0, 1e-9);
+  // Degenerate: clipped narrower than eps (av = -0.05 hypothetically via
+  // av=0, eps=0.2 -> [0, 0.2], window 0.2 wide: the whole interval).
+  EXPECT_NEAR(pdf.nStarMinAv(0.0, 0.2), 200.0, 1e-9);
+}
+
+TEST(AvailabilityPdfTest, FromSamplesBuildsNormalizedPdf) {
+  std::vector<double> samples;
+  for (int i = 0; i < 50; ++i) samples.push_back(0.2);
+  for (int i = 0; i < 50; ++i) samples.push_back(0.8);
+  const auto pdf = AvailabilityPdf::fromSamples(samples, 500.0, 10);
+  EXPECT_DOUBLE_EQ(pdf.nStar(), 500.0);
+  // Samples at 0.2 land in bin [0.2, 0.3), samples at 0.8 in [0.8, 0.9);
+  // position within a bin is deliberately lost by discretization.
+  EXPECT_NEAR(pdf.mass(0.2, 0.3), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.mass(0.8, 0.9), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.mass(0.15, 0.25), 0.25, 1e-12);  // half of the 0.2-bin
+  EXPECT_DOUBLE_EQ(pdf.density(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace avmem::core

@@ -1,0 +1,262 @@
+// Unit tests for the per-node Discovery / Refresh / verification logic,
+// using hand-wired worlds with fully controlled predicates.
+#include "core/avmem_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_world.hpp"
+
+namespace avmem::core {
+namespace {
+
+using testing::cyclicTrace;
+using testing::ManualWorld;
+using testing::twoLevelPredicate;
+
+std::vector<double> spreadAvailabilities(std::size_t n) {
+  std::vector<double> av(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    av[i] = 0.05 + 0.9 * static_cast<double>(i) / (n - 1);
+  }
+  return av;
+}
+
+TEST(AvmemNodeTest, DiscoveryAdmitsExactlyThePredicateMatches) {
+  // hs accepts everything in-band, vs rejects everything: discovery must
+  // admit precisely the peers within +-eps of the node's availability.
+  ManualWorld w(cyclicTrace(spreadAvailabilities(21)),
+                twoLevelPredicate(1.0, 0.0, 0.1));
+  w.sim.runUntil(sim::SimTime::days(2));  // let availabilities stabilize
+
+  AvmemNode& node = w.nodes[10];
+  node.discoverOnce(w.fullView());
+
+  const double selfAv = node.selfAvailability();
+  EXPECT_GT(node.horizontalSliver().size(), 0u);
+  EXPECT_EQ(node.verticalSliver().size(), 0u);
+  for (const auto& e : node.horizontalSliver().entries()) {
+    EXPECT_LT(std::abs(e.cachedAv - selfAv), 0.1);
+    EXPECT_NE(e.peer, node.index());
+  }
+  // Exhaustive converse: every in-band peer (other than self) was admitted.
+  for (net::NodeIndex p = 0; p < w.nodes.size(); ++p) {
+    if (p == node.index()) continue;
+    const double peerAv = *w.oracle.query(node.index(), p);
+    if (std::abs(peerAv - selfAv) < 0.1) {
+      EXPECT_TRUE(node.knows(p)) << "missing in-band peer " << p;
+    }
+  }
+}
+
+TEST(AvmemNodeTest, DiscoveryNeverAdmitsSelfOrDuplicates) {
+  ManualWorld w(cyclicTrace(spreadAvailabilities(11)),
+                twoLevelPredicate(1.0, 1.0));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& node = w.nodes[5];
+  node.discoverOnce(w.fullView());
+  const std::size_t degreeAfterFirst = node.degree();
+  EXPECT_EQ(degreeAfterFirst, w.nodes.size() - 1);  // f=1 admits everyone
+  EXPECT_FALSE(node.knows(node.index()));
+  // Re-running discovery must not duplicate entries.
+  node.discoverOnce(w.fullView());
+  EXPECT_EQ(node.degree(), degreeAfterFirst);
+}
+
+TEST(AvmemNodeTest, DiscoveryIsHashSelective) {
+  // With f = 0.3 on both slivers, roughly 30% of peers pass; membership
+  // must agree exactly with the predicate evaluated from the outside.
+  const std::size_t n = 60;
+  ManualWorld w(cyclicTrace(spreadAvailabilities(n)),
+                twoLevelPredicate(0.3, 0.3));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& node = w.nodes[30];
+  node.discoverOnce(w.fullView());
+
+  std::size_t expected = 0;
+  for (net::NodeIndex p = 0; p < n; ++p) {
+    if (p == node.index()) continue;
+    const double h = w.ctx.hashOf(node.index(), p);
+    if (h <= 0.3) {
+      ++expected;
+      EXPECT_TRUE(node.knows(p));
+    } else {
+      EXPECT_FALSE(node.knows(p));
+    }
+  }
+  EXPECT_EQ(node.degree(), expected);
+}
+
+TEST(AvmemNodeTest, RefreshRefilesWhenClassificationDrifts) {
+  // Peer 1's availability declines over the trace (always on early, then
+  // always off), moving it out of node 0's +-eps band; with both slivers
+  // accepting, refresh must re-file it from HS to VS.
+  std::vector<std::vector<std::uint8_t>> rows(2);
+  for (int e = 0; e < 400; ++e) {
+    rows[0].push_back(1);               // node 0: always on (av = 1.0)
+    rows[1].push_back(e < 100 ? 1 : 0); // node 1: declines toward 0.25
+  }
+  ManualWorld w(
+      trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20)),
+      twoLevelPredicate(1.0, 1.0));
+
+  // Discover while both are fully available (epoch ~50).
+  w.sim.runUntil(sim::SimTime::minutes(20 * 50));
+  w.nodes[0].discoverOnce({1});
+  EXPECT_TRUE(w.nodes[0].horizontalSliver().contains(1));
+
+  // By epoch 300, node 1's availability is ~1/3: outside eps of 1.0.
+  w.sim.runUntil(sim::SimTime::minutes(20 * 300));
+  w.nodes[0].refreshOnce();
+  EXPECT_FALSE(w.nodes[0].horizontalSliver().contains(1));
+  EXPECT_TRUE(w.nodes[0].verticalSliver().contains(1));
+  EXPECT_GT(w.nodes[0].stats().refreshRounds, 0u);
+}
+
+TEST(AvmemNodeTest, RefreshEvictsWhenPredicateTurnsFalse) {
+  // Same drift, but the vertical sliver rejects: the entry must vanish.
+  std::vector<std::vector<std::uint8_t>> rows(2);
+  for (int e = 0; e < 400; ++e) {
+    rows[0].push_back(1);
+    rows[1].push_back(e < 100 ? 1 : 0);
+  }
+  ManualWorld w(
+      trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20)),
+      twoLevelPredicate(1.0, 0.0));
+
+  w.sim.runUntil(sim::SimTime::minutes(20 * 50));
+  w.nodes[0].discoverOnce({1});
+  ASSERT_TRUE(w.nodes[0].knows(1));
+
+  w.sim.runUntil(sim::SimTime::minutes(20 * 300));
+  w.nodes[0].refreshOnce();
+  EXPECT_FALSE(w.nodes[0].knows(1));
+  EXPECT_EQ(w.nodes[0].stats().neighborsEvicted, 1u);
+}
+
+TEST(AvmemNodeTest, RefreshUpdatesCachedAvailabilities) {
+  std::vector<std::vector<std::uint8_t>> rows(2);
+  for (int e = 0; e < 400; ++e) {
+    rows[0].push_back(1);
+    rows[1].push_back(e < 200 ? 1 : 0);
+  }
+  ManualWorld w(
+      trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20)),
+      twoLevelPredicate(1.0, 1.0));
+
+  w.sim.runUntil(sim::SimTime::minutes(20 * 100));
+  w.nodes[0].discoverOnce({1});
+  const double cachedBefore =
+      w.nodes[0].neighbors(SliverSet::kHsAndVs).front().cachedAv;
+  EXPECT_DOUBLE_EQ(cachedBefore, 1.0);
+
+  w.sim.runUntil(sim::SimTime::minutes(20 * 300));
+  w.nodes[0].refreshOnce();
+  const double cachedAfter =
+      w.nodes[0].neighbors(SliverSet::kHsAndVs).front().cachedAv;
+  EXPECT_LT(cachedAfter, 0.75);
+}
+
+TEST(AvmemNodeTest, VerifyIncomingAcceptsTrueMembersUnderOracle) {
+  // With a perfectly consistent service, every legitimately-discovered
+  // relation verifies at the receiver (no drift between the two parties).
+  const std::size_t n = 30;
+  ManualWorld w(cyclicTrace(spreadAvailabilities(n)),
+                twoLevelPredicate(0.8, 0.2));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& sender = w.nodes[15];
+  sender.discoverOnce(w.fullView());
+  // Freshly after discovery, estimates have not drifted: the receivers'
+  // verification (which refreshes their self-estimates internally) must
+  // accept every discovered relation.
+  ASSERT_GT(sender.degree(), 0u);
+  for (const auto& e : sender.neighbors(SliverSet::kHsAndVs)) {
+    EXPECT_TRUE(w.nodes[e.peer].verifyIncoming(sender.index()))
+        << "neighbor " << e.peer << " wrongly rejected";
+  }
+}
+
+TEST(AvmemNodeTest, VerifyIncomingRejectsNonMembers) {
+  const std::size_t n = 30;
+  ManualWorld w(cyclicTrace(spreadAvailabilities(n)),
+                twoLevelPredicate(0.3, 0.05));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& sender = w.nodes[15];
+  sender.discoverOnce(w.fullView());
+  std::size_t rejections = 0;
+  for (net::NodeIndex p = 0; p < n; ++p) {
+    if (p == sender.index() || sender.knows(p)) continue;
+    if (!w.nodes[p].verifyIncoming(sender.index())) ++rejections;
+  }
+  // Every non-member must be rejected under a consistent oracle.
+  EXPECT_EQ(rejections, n - 1 - sender.degree());
+}
+
+TEST(AvmemNodeTest, CushionRelaxesVerification) {
+  // A sender/receiver pair just over the threshold flips to accepted once
+  // the receiver applies a cushion.
+  ProtocolConfig strict;
+  strict.cushion = 0.0;
+  ManualWorld w(cyclicTrace(spreadAvailabilities(30)),
+                twoLevelPredicate(0.5, 0.5), strict);
+  w.sim.runUntil(sim::SimTime::days(2));
+
+  // Find a pair whose hash lands in (0.5, 0.6]: rejected strictly, but
+  // accepted with cushion 0.1.
+  net::NodeIndex sender = 0;
+  net::NodeIndex receiver = 0;
+  bool found = false;
+  for (net::NodeIndex a = 0; a < 30 && !found; ++a) {
+    for (net::NodeIndex b = 0; b < 30 && !found; ++b) {
+      if (a == b) continue;
+      const double h = w.ctx.hashOf(a, b);
+      if (h > 0.5 && h <= 0.58) {
+        sender = a;
+        receiver = b;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_FALSE(w.nodes[receiver].verifyIncoming(sender));
+
+  ProtocolConfig relaxed;
+  relaxed.cushion = 0.1;
+  ManualWorld w2(cyclicTrace(spreadAvailabilities(30)),
+                 twoLevelPredicate(0.5, 0.5), relaxed);
+  w2.sim.runUntil(sim::SimTime::days(2));
+  EXPECT_TRUE(w2.nodes[receiver].verifyIncoming(sender));
+}
+
+TEST(AvmemNodeTest, NeighborsHonorSliverSetSelection) {
+  ManualWorld w(cyclicTrace(spreadAvailabilities(40)),
+                twoLevelPredicate(1.0, 1.0));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& node = w.nodes[20];
+  node.discoverOnce(w.fullView());
+  ASSERT_GT(node.horizontalSliver().size(), 0u);
+  ASSERT_GT(node.verticalSliver().size(), 0u);
+
+  EXPECT_EQ(node.neighbors(SliverSet::kHsOnly).size(),
+            node.horizontalSliver().size());
+  EXPECT_EQ(node.neighbors(SliverSet::kVsOnly).size(),
+            node.verticalSliver().size());
+  EXPECT_EQ(node.neighbors(SliverSet::kHsAndVs).size(), node.degree());
+}
+
+TEST(AvmemNodeTest, EvictNeighborRemovesFromEitherSliver) {
+  ManualWorld w(cyclicTrace(spreadAvailabilities(40)),
+                twoLevelPredicate(1.0, 1.0));
+  w.sim.runUntil(sim::SimTime::days(2));
+  AvmemNode& node = w.nodes[20];
+  node.discoverOnce(w.fullView());
+  const auto hsPeer = node.horizontalSliver().entries().front().peer;
+  const auto vsPeer = node.verticalSliver().entries().front().peer;
+  node.evictNeighbor(hsPeer);
+  node.evictNeighbor(vsPeer);
+  EXPECT_FALSE(node.knows(hsPeer));
+  EXPECT_FALSE(node.knows(vsPeer));
+  EXPECT_EQ(node.stats().neighborsEvicted, 2u);
+}
+
+}  // namespace
+}  // namespace avmem::core

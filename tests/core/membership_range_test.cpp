@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/membership.hpp"
+#include "core/range.hpp"
+
+namespace avmem::core {
+namespace {
+
+TEST(SliverListTest, UpsertInsertsThenRefreshes) {
+  SliverList list;
+  EXPECT_TRUE(list.upsert(7, 0.5, sim::SimTime::seconds(1)));
+  EXPECT_EQ(list.size(), 1u);
+  // Second upsert refreshes in place.
+  EXPECT_FALSE(list.upsert(7, 0.6, sim::SimTime::seconds(2)));
+  EXPECT_EQ(list.size(), 1u);
+  const NeighborEntry* e = list.find(7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->cachedAv, 0.6);
+  EXPECT_EQ(e->addedAt, sim::SimTime::seconds(1));      // creation preserved
+  EXPECT_EQ(e->refreshedAt, sim::SimTime::seconds(2));  // refresh advanced
+}
+
+TEST(SliverListTest, RemoveAndContains) {
+  SliverList list;
+  list.upsert(1, 0.1, sim::SimTime::zero());
+  list.upsert(2, 0.2, sim::SimTime::zero());
+  EXPECT_TRUE(list.contains(1));
+  EXPECT_TRUE(list.remove(1));
+  EXPECT_FALSE(list.contains(1));
+  EXPECT_FALSE(list.remove(1));  // already gone
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SliverListTest, FindMissingReturnsNull) {
+  SliverList list;
+  EXPECT_EQ(list.find(9), nullptr);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SliverListTest, ClearEmpties) {
+  SliverList list;
+  list.upsert(1, 0.1, sim::SimTime::zero());
+  list.clear();
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(AvRangeTest, ClosedContainment) {
+  const auto r = AvRange::closed(0.2, 0.3);
+  EXPECT_TRUE(r.contains(0.2));
+  EXPECT_TRUE(r.contains(0.25));
+  EXPECT_TRUE(r.contains(0.3));
+  EXPECT_FALSE(r.contains(0.19));
+  EXPECT_FALSE(r.contains(0.31));
+}
+
+TEST(AvRangeTest, ThresholdIsStrictlyAbove) {
+  const auto r = AvRange::threshold(0.9);
+  EXPECT_FALSE(r.contains(0.9));
+  EXPECT_TRUE(r.contains(0.9 + 1e-9));
+  EXPECT_TRUE(r.contains(1.0));
+}
+
+TEST(AvRangeTest, DistanceToEdges) {
+  const auto r = AvRange::closed(0.4, 0.6);
+  EXPECT_DOUBLE_EQ(r.distance(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(r.distance(0.4), 0.0);
+  EXPECT_NEAR(r.distance(0.3), 0.1, 1e-12);
+  EXPECT_NEAR(r.distance(0.9), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.mid(), 0.5);
+}
+
+TEST(SliverSetTest, Names) {
+  EXPECT_STREQ(toString(SliverSet::kHsOnly), "HS-only");
+  EXPECT_STREQ(toString(SliverSet::kVsOnly), "VS-only");
+  EXPECT_STREQ(toString(SliverSet::kHsAndVs), "HS+VS");
+}
+
+}  // namespace
+}  // namespace avmem::core

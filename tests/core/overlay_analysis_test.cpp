@@ -1,0 +1,103 @@
+#include "core/overlay_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::core {
+namespace {
+
+class OverlayAnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig cfg;
+    cfg.trace.hosts = 200;
+    cfg.backend = AvailabilityBackend::kOracle;
+    cfg.seed = 55;
+    system_ = new AvmemSimulation(cfg);
+    system_->warmup(sim::SimDuration::hours(8));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static AvmemSimulation* system_;
+};
+
+AvmemSimulation* OverlayAnalysisTest::system_ = nullptr;
+
+TEST_F(OverlayAnalysisTest, SnapshotDegreesMatchNodeState) {
+  const OverlaySnapshot snap(*system_, SliverSet::kHsAndVs);
+  ASSERT_EQ(snap.nodeCount(), system_->nodeCount());
+  for (net::NodeIndex i = 0; i < snap.nodeCount(); ++i) {
+    if (!snap.isMember(i)) {
+      EXPECT_EQ(snap.outDegree(i), 0u);
+      continue;
+    }
+    // Out-degree <= list size (offline targets are filtered out).
+    EXPECT_LE(snap.outDegree(i), system_->node(i).degree());
+    for (const auto peer : snap.outNeighbors(i)) {
+      EXPECT_TRUE(snap.isMember(peer));
+      EXPECT_TRUE(system_->node(i).knows(peer));
+    }
+  }
+}
+
+TEST_F(OverlayAnalysisTest, InDegreesSumToOutDegrees) {
+  const OverlaySnapshot snap(*system_, SliverSet::kHsAndVs);
+  std::size_t outSum = 0;
+  std::size_t inSum = 0;
+  for (net::NodeIndex i = 0; i < snap.nodeCount(); ++i) {
+    outSum += snap.outDegree(i);
+    inSum += snap.inDegree(i);
+  }
+  EXPECT_EQ(outSum, inSum);
+}
+
+TEST_F(OverlayAnalysisTest, FullOverlayIsOneBigComponent) {
+  // HS + VS together must keep (nearly) the whole online population in
+  // one component — the paper's global-connectivity goal.
+  const OverlaySnapshot snap(*system_, SliverSet::kHsAndVs);
+  const double frac = snap.largestComponentFraction(0.0, 1.0);
+  EXPECT_GT(frac, 0.9);
+}
+
+TEST_F(OverlayAnalysisTest, Theorem2HorizontalSubOverlaysAreConnected) {
+  // Theorem 2: for any availability a, the sub-overlay of online nodes
+  // within +-eps of a is connected w.h.p. — checked on the *HS-only*
+  // graph, which is exactly what the theorem's predicate provides.
+  const OverlaySnapshot snap(*system_, SliverSet::kHsOnly);
+  const double eps = system_->predicate().epsilon();
+  for (double av = 0.2; av <= 0.9; av += 0.1) {
+    const auto components = snap.componentsWithin(av - eps, av + eps);
+    if (components.empty()) continue;
+    std::size_t total = 0;
+    for (const auto c : components) total += c;
+    if (total < 8) continue;  // too few nodes for a w.h.p. statement
+    const double frac = snap.horizontalConnectivity(av, eps);
+    EXPECT_GT(frac, 0.85) << "disconnected band around " << av;
+  }
+}
+
+TEST_F(OverlayAnalysisTest, IncomingLinksMatchFigureFourCounting) {
+  const OverlaySnapshot snap(*system_, SliverSet::kVsOnly);
+  // Sum over disjoint deciles = total VS in-links.
+  std::size_t total = 0;
+  for (int d = 0; d < 10; ++d) {
+    total += snap.incomingLinksInto(d / 10.0 + (d == 0 ? 0.0 : 1e-9),
+                                    (d + 1) / 10.0);
+  }
+  std::size_t direct = 0;
+  for (net::NodeIndex i = 0; i < snap.nodeCount(); ++i) {
+    direct += snap.inDegree(i);
+  }
+  EXPECT_EQ(total, direct);
+}
+
+TEST_F(OverlayAnalysisTest, EmptyBandHasNoComponents) {
+  const OverlaySnapshot snap(*system_, SliverSet::kHsAndVs);
+  const auto components = snap.componentsWithin(2.0, 3.0);
+  EXPECT_TRUE(components.empty());
+  EXPECT_DOUBLE_EQ(snap.largestComponentFraction(2.0, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace avmem::core

@@ -1,0 +1,256 @@
+// Unit and property tests for the AVMEM predicate family, including
+// numerical checks of the paper's Theorems 1-3.
+#include "core/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/node_id.hpp"
+#include "hash/pair_hash.hpp"
+#include "sim/random.hpp"
+
+namespace avmem::core {
+namespace {
+
+AvailabilityPdf uniformPdf(double nStar = 1000.0) {
+  stats::Histogram h(0.0, 1.0, 20);
+  for (int b = 0; b < 20; ++b) h.add(h.binMid(b), 5);
+  return AvailabilityPdf(std::move(h), nStar);
+}
+
+AvailabilityPdf skewedPdf(double nStar = 1000.0) {
+  // Overnet-like: heavy low-availability mass, thin high tail.
+  stats::Histogram h(0.0, 1.0, 20);
+  for (int b = 0; b < 20; ++b) {
+    h.add(h.binMid(b), static_cast<std::uint64_t>(40 - b * 2 + 1));
+  }
+  return AvailabilityPdf(std::move(h), nStar);
+}
+
+TEST(PredicateClassifyTest, EpsilonSplitsHorizontalAndVertical) {
+  const auto pred = makePaperDefaultPredicate(uniformPdf(), 0.1);
+  EXPECT_EQ(pred.classify(0.5, 0.55), SliverKind::kHorizontal);
+  EXPECT_EQ(pred.classify(0.5, 0.45), SliverKind::kHorizontal);
+  EXPECT_EQ(pred.classify(0.5, 0.61), SliverKind::kVertical);
+  EXPECT_EQ(pred.classify(0.5, 0.39), SliverKind::kVertical);
+}
+
+TEST(PredicateClassifyTest, ExactBoundaryIsVertical) {
+  // Strict inequality at |ax - ay| == eps, checked with binary-exact
+  // values (0.625 - 0.5 == 0.125 exactly; 0.6 - 0.5 is not exact).
+  const auto pred = makePaperDefaultPredicate(uniformPdf(), 0.125);
+  EXPECT_EQ(pred.classify(0.5, 0.625), SliverKind::kVertical);
+  EXPECT_EQ(pred.classify(0.625, 0.5), SliverKind::kVertical);
+  EXPECT_EQ(pred.classify(0.5, 0.624), SliverKind::kHorizontal);
+}
+
+TEST(LogVerticalTest, MatchesFormulaOnUniformPdf) {
+  const auto pdf = uniformPdf(1000.0);
+  LogarithmicVerticalSub vs(1.0);
+  // f = c1 log(N*) / (N* p(ay)); uniform density = 1.
+  const double expected = std::log(1000.0) / 1000.0;
+  EXPECT_NEAR(vs.value(0.2, 0.9, pdf), expected, 1e-12);
+  // Independent of ax entirely.
+  EXPECT_DOUBLE_EQ(vs.value(0.1, 0.9, pdf), vs.value(0.8, 0.9, pdf));
+}
+
+TEST(LogVerticalTest, DenserRegionsGetSmallerF) {
+  const auto pdf = skewedPdf();
+  LogarithmicVerticalSub vs(1.0);
+  // Low availabilities are dense -> smaller f; high are sparse -> larger.
+  EXPECT_LT(vs.value(0.5, 0.05, pdf), vs.value(0.5, 0.95, pdf));
+}
+
+TEST(LogVerticalTest, EmptyBinSaturatesToOne) {
+  stats::Histogram h(0.0, 1.0, 10);
+  h.add(0.1, 100);  // all mass in one bin
+  const AvailabilityPdf pdf(std::move(h), 1000.0);
+  LogarithmicVerticalSub vs(1.0);
+  EXPECT_DOUBLE_EQ(vs.value(0.1, 0.9, pdf), 1.0);
+}
+
+TEST(LogDecreasingVerticalTest, DecaysWithAvailabilityDistance) {
+  const auto pdf = uniformPdf();
+  LogarithmicDecreasingVerticalSub vs(1.0);
+  const double near = vs.value(0.5, 0.65, pdf);
+  const double far = vs.value(0.5, 0.95, pdf);
+  EXPECT_GT(near, far);
+  // Inverse-distance law: f(d) * d constant while unclamped.
+  EXPECT_NEAR(near * 0.15, far * 0.45, 1e-9);
+}
+
+TEST(LogDecreasingVerticalTest, ZeroDistanceSaturates) {
+  const auto pdf = uniformPdf();
+  LogarithmicDecreasingVerticalSub vs(1.0);
+  EXPECT_DOUBLE_EQ(vs.value(0.5, 0.5, pdf), 1.0);
+}
+
+TEST(ConstantSubTest, CountNormalization) {
+  const auto pdf = uniformPdf(1000.0);
+  ConstantVerticalSub vs(20.0);
+  EXPECT_NEAR(vs.value(0.3, 0.7, pdf), 0.02, 1e-12);
+
+  ConstantHorizontalSub hs(10.0, 0.1);
+  // N*_av(0.5) = 200 under the uniform PDF -> f = 10/200.
+  EXPECT_NEAR(hs.value(0.5, 0.55, pdf), 0.05, 1e-9);
+}
+
+TEST(ConstantSubTest, SaturatesWhenCandidatesScarce) {
+  stats::Histogram h(0.0, 1.0, 10);
+  h.add(0.95, 100);
+  const AvailabilityPdf pdf(std::move(h), 10.0);
+  ConstantVerticalSub vs(50.0);  // more than N*
+  EXPECT_DOUBLE_EQ(vs.value(0.1, 0.9, pdf), 1.0);
+}
+
+TEST(LogConstantHorizontalTest, MatchesFormulaOnUniformPdf) {
+  const auto pdf = uniformPdf(1000.0);
+  LogConstantHorizontalSub hs(1.0, 0.1);
+  // N*_av = 200, N*min_av = 100 under uniform -> f = log(200)/100.
+  EXPECT_NEAR(hs.value(0.5, 0.52, pdf), std::log(200.0) / 100.0, 1e-6);
+}
+
+TEST(LogConstantHorizontalTest, SparseRegionsGetLargerF) {
+  const auto pdf = skewedPdf();
+  LogConstantHorizontalSub hs(1.0, 0.1);
+  EXPECT_GT(hs.value(0.9, 0.92, pdf), hs.value(0.1, 0.12, pdf));
+}
+
+TEST(ConstantFractionTest, ClampsAndIgnoresInputs) {
+  const auto pdf = uniformPdf();
+  ConstantFractionSub sub(0.42);
+  EXPECT_DOUBLE_EQ(sub.value(0.0, 1.0, pdf), 0.42);
+  EXPECT_DOUBLE_EQ(sub.value(0.9, 0.1, pdf), 0.42);
+  ConstantFractionSub over(1.7);
+  EXPECT_DOUBLE_EQ(over.value(0.5, 0.5, pdf), 1.0);
+}
+
+TEST(CompositePredicateTest, RoutesToCorrectSubPredicate) {
+  const auto pred = AvmemPredicate(
+      std::make_shared<ConstantFractionSub>(0.9),   // horizontal
+      std::make_shared<ConstantFractionSub>(0.01),  // vertical
+      0.1, uniformPdf());
+  EXPECT_DOUBLE_EQ(pred.f(0.5, 0.55), 0.9);
+  EXPECT_DOUBLE_EQ(pred.f(0.5, 0.9), 0.01);
+}
+
+TEST(CompositePredicateTest, EvaluateThresholdAndCushion) {
+  const auto pred = AvmemPredicate(std::make_shared<ConstantFractionSub>(0.5),
+                                   std::make_shared<ConstantFractionSub>(0.5),
+                                   0.1, uniformPdf());
+  EXPECT_TRUE(pred.evaluate(0.49, 0.5, 0.5));
+  EXPECT_TRUE(pred.evaluate(0.50, 0.5, 0.5));  // <= boundary accepted
+  EXPECT_FALSE(pred.evaluate(0.51, 0.5, 0.5));
+  EXPECT_TRUE(pred.evaluate(0.51, 0.5, 0.5, /*cushion=*/0.1));
+}
+
+// --- Property sweeps (TEST_P) ----------------------------------------------
+
+struct PredicateCase {
+  const char* name;
+  int which;  // 0 default, 1 random, 2 log-decreasing, 3 constant
+};
+
+class PredicateFamilyTest : public ::testing::TestWithParam<PredicateCase> {
+ protected:
+  [[nodiscard]] AvmemPredicate make(AvailabilityPdf pdf) const {
+    switch (GetParam().which) {
+      case 1:
+        return makeRandomOverlayPredicate(std::move(pdf), 0.02);
+      case 2:
+        return makeLogDecreasingPredicate(std::move(pdf));
+      case 3:
+        return makeConstantSliversPredicate(std::move(pdf), 10.0, 10.0);
+      default:
+        return makePaperDefaultPredicate(std::move(pdf));
+    }
+  }
+};
+
+TEST_P(PredicateFamilyTest, FStaysInUnitInterval) {
+  for (const auto& pdf : {uniformPdf(), skewedPdf(), uniformPdf(10.0)}) {
+    const auto pred = make(pdf);
+    for (double ax = 0.0; ax <= 1.0; ax += 0.05) {
+      for (double ay = 0.0; ay <= 1.0; ay += 0.05) {
+        const double f = pred.f(ax, ay);
+        ASSERT_GE(f, 0.0) << GetParam().name << " ax=" << ax << " ay=" << ay;
+        ASSERT_LE(f, 1.0) << GetParam().name << " ax=" << ax << " ay=" << ay;
+      }
+    }
+  }
+}
+
+TEST_P(PredicateFamilyTest, EvaluationIsConsistentAcrossParties) {
+  // Two "parties" with independent predicate instances and hashers must
+  // agree on M(x, y) for every pair — the core non-cooperation defense.
+  const auto predA = make(uniformPdf());
+  const auto predB = make(uniformPdf());
+  hashing::PairHasher hashA;
+  hashing::PairHasher hashB;
+  sim::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId x{static_cast<std::uint32_t>(rng.next()),
+                   static_cast<std::uint16_t>(rng.next())};
+    const NodeId y{static_cast<std::uint32_t>(rng.next()),
+                   static_cast<std::uint16_t>(rng.next())};
+    const double ax = rng.uniform();
+    const double ay = rng.uniform();
+    const bool a = predA.evaluate(hashA(x.bytes(), y.bytes()), ax, ay);
+    const bool b = predB.evaluate(hashB(x.bytes(), y.bytes()), ax, ay);
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredicates, PredicateFamilyTest,
+    ::testing::Values(PredicateCase{"paper_default", 0},
+                      PredicateCase{"random_overlay", 1},
+                      PredicateCase{"log_decreasing", 2},
+                      PredicateCase{"constant_slivers", 3}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- Theorem checks ---------------------------------------------------------
+
+TEST(TheoremTest, Theorem1UniformCoverageOfVerticalSliver) {
+  // Expected vertical neighbors in a width-da interval around a is
+  // c1 log(N*) da regardless of a — even on a skewed PDF.
+  const auto pdf = skewedPdf(1000.0);
+  LogarithmicVerticalSub vs(1.0);
+  const double da = 0.05;
+  std::vector<double> expectedPerInterval;
+  for (double a = 0.025; a < 1.0; a += da) {
+    // E[#neighbors in (a, a+da)] = f * N* * p(a) * da.
+    const double f = vs.value(0.5, a, pdf);
+    if (f >= 1.0) continue;  // clamped bins are excluded by the theorem
+    expectedPerInterval.push_back(f * pdf.nStar() * pdf.density(a) * da);
+  }
+  ASSERT_GT(expectedPerInterval.size(), 10u);
+  const double reference = std::log(1000.0) * da;
+  for (const double v : expectedPerInterval) {
+    EXPECT_NEAR(v, reference, reference * 1e-9);
+  }
+}
+
+TEST(TheoremTest, Theorem3ExpectedDegreeIsLogarithmic) {
+  // Under a not-too-skewed PDF the total expected degree is O(log N*):
+  // grow N* x16 and the expected degree must grow ~x(log growth), far
+  // slower than linear.
+  auto degreeAt = [](double nStar) {
+    const auto pdf = uniformPdf(nStar);
+    const auto pred = makePaperDefaultPredicate(pdf);
+    double degree = 0.0;
+    const auto& h = pdf.histogram();
+    for (std::size_t j = 0; j < h.binCount(); ++j) {
+      degree += pred.f(0.5, h.binMid(j)) * nStar * h.fraction(j);
+    }
+    return degree;
+  };
+  const double d1k = degreeAt(1000.0);
+  const double d16k = degreeAt(16000.0);
+  EXPECT_LT(d16k / d1k, 2.5);  // log growth, not the x16 of linear
+  EXPECT_GT(d16k, d1k);        // but still monotone
+}
+
+}  // namespace
+}  // namespace avmem::core

@@ -1,0 +1,57 @@
+// MD5 correctness against the RFC 1321 test suite.
+#include "hash/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace avmem::hashing {
+namespace {
+
+// The seven vectors from RFC 1321 appendix A.5.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(toHex(md5(std::string_view{})),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(toHex(md5("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(toHex(md5("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(toHex(md5("message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(toHex(md5("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(toHex(md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01"
+                      "23456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(toHex(md5("123456789012345678901234567890123456789012345678901234"
+                      "56789012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'q');
+  Md5 h;
+  h.update(std::string_view(msg).substr(0, 100));
+  h.update(std::string_view(msg).substr(100, 100));
+  h.update(std::string_view(msg).substr(200));
+  EXPECT_EQ(h.finish(), md5(msg));
+}
+
+TEST(Md5Test, ResetRestoresEmptyState) {
+  Md5 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(toHex(h.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, PaddingBoundaries) {
+  // 55/56/64-byte messages exercise the final-block padding paths.
+  EXPECT_EQ(toHex(md5(std::string(55, 'x'))),
+            "04364420e25c512fd958a70738aa8f72");
+  EXPECT_EQ(toHex(md5(std::string(56, 'x'))),
+            "668a72d5ba17f08e62dabcafad6db14b");
+  EXPECT_EQ(toHex(md5(std::string(64, 'x'))),
+            "c1bb4f81d892b2d57947682aeb252456");
+}
+
+}  // namespace
+}  // namespace avmem::hashing

@@ -1,0 +1,131 @@
+// End-to-end checks of the paper's headline properties on a mid-size
+// system (400 hosts, AVMON backend — the full production stack).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attack.hpp"
+#include "core/simulation.hpp"
+
+namespace avmem::core {
+namespace {
+
+/// One shared warmed system for the whole suite (building it costs a few
+/// seconds; the properties are read-mostly).
+class PaperPropertiesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig cfg;
+    cfg.trace.hosts = 400;
+    cfg.backend = AvailabilityBackend::kAvmon;
+    cfg.seed = 424242;
+    system_ = new AvmemSimulation(cfg);
+    system_->warmup(sim::SimDuration::hours(12));
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static AvmemSimulation* system_;
+};
+
+AvmemSimulation* PaperPropertiesTest::system_ = nullptr;
+
+TEST_F(PaperPropertiesTest, OverlayDegreesAreLogarithmicNotLinear) {
+  // Theorem 3 in the wild: realized degrees must sit far below the
+  // population size, in the O(log N) regime.
+  double total = 0.0;
+  std::size_t n = 0;
+  std::size_t max = 0;
+  for (const auto i : system_->onlineNodes()) {
+    const std::size_t d = system_->node(i).degree();
+    total += static_cast<double>(d);
+    max = std::max(max, d);
+    ++n;
+  }
+  ASSERT_GT(n, 50u);
+  const double mean = total / static_cast<double>(n);
+  EXPECT_LT(mean, 60.0);  // ~log-scale, not the ~400 of a full view
+  EXPECT_GT(mean, 3.0);   // but connected
+  EXPECT_LT(max, system_->nodeCount() / 2);
+}
+
+TEST_F(PaperPropertiesTest, VerticalSliverCoversTheAvailabilitySpace) {
+  // Theorem 1 in the wild: pooled across nodes, VS links must touch
+  // every populated availability decile.
+  std::array<int, 10> incoming{};
+  std::array<int, 10> population{};
+  for (const auto i : system_->onlineNodes()) {
+    const double av = system_->trueAvailability(i);
+    ++population[std::min(static_cast<int>(av * 10), 9)];
+    for (const auto& e : system_->node(i).verticalSliver().entries()) {
+      const double t = system_->trueAvailability(e.peer);
+      ++incoming[std::min(static_cast<int>(t * 10), 9)];
+    }
+  }
+  for (int b = 0; b < 10; ++b) {
+    if (population[b] >= 10) {
+      EXPECT_GT(incoming[b], 0) << "uncovered decile " << b;
+    }
+  }
+}
+
+TEST_F(PaperPropertiesTest, SelfishFloodingBuysLittleAudience) {
+  // Figure 5 in the wild: a low-availability node cannot reach a large
+  // illegitimate audience.
+  const auto attacker = system_->pickInitiator(AvBand::low());
+  ASSERT_TRUE(attacker.has_value());
+  const auto sweep = floodingAttack(*system_, *attacker);
+  ASSERT_GT(sweep.targets, 50u);
+  EXPECT_LT(sweep.acceptFraction(), 0.15);
+}
+
+TEST_F(PaperPropertiesTest, AnycastReachesHighAvailabilityFast) {
+  // Figure 7 in the wild: MID -> [0.85, 0.95] succeeds mostly in 1 hop.
+  AnycastParams params;
+  params.range = AvRange::closed(0.85, 0.95);
+  params.strategy = AnycastStrategy::kRetriedGreedy;
+  const auto batch =
+      system_->runAnycastBatch(AvBand::mid(), params, 30);
+  ASSERT_GT(batch.count(), 20u);
+  EXPECT_GT(batch.deliveredFraction(), 0.8);
+  std::size_t oneHop = 0;
+  std::size_t delivered = 0;
+  for (const auto& r : batch.results) {
+    if (r.outcome != AnycastOutcome::kDelivered) continue;
+    ++delivered;
+    if (r.hops <= 1) ++oneHop;
+  }
+  EXPECT_GT(static_cast<double>(oneHop) / static_cast<double>(delivered),
+            0.5);
+}
+
+TEST_F(PaperPropertiesTest, FloodMulticastIsReliableWithLowSpam) {
+  // Figures 12/13 in the wild.
+  const auto initiator = system_->pickInitiator(AvBand::high());
+  ASSERT_TRUE(initiator.has_value());
+  MulticastParams params;
+  params.range = AvRange::threshold(0.7);
+  params.mode = MulticastMode::kFlood;
+  const auto r = system_->runMulticast(*initiator, params);
+  ASSERT_GT(r.eligible, 20u);
+  EXPECT_GT(r.reliability(), 0.8);
+  EXPECT_LT(r.spamRatio(), 0.3);
+}
+
+TEST_F(PaperPropertiesTest, MaintenanceBandwidthIsModest) {
+  // Section 3.1's overhead argument: per-node maintenance traffic is a
+  // few hundred bytes per second, not kilobytes.
+  const auto& stats = system_->network().stats();
+  const double seconds = system_->simulator().now().toSeconds();
+  const double perNodeBps =
+      static_cast<double>(stats.bytesSent) /
+      (seconds * static_cast<double>(system_->nodeCount()));
+  EXPECT_LT(perNodeBps, 2000.0);
+  EXPECT_GT(perNodeBps, 0.1);
+}
+
+}  // namespace
+}  // namespace avmem::core

@@ -1,0 +1,173 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "net/latency.hpp"
+
+namespace avmem::net {
+namespace {
+
+/// Test fixture with a controllable online set.
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    online_.insert({0, 1, 2, 3});
+    network_ = std::make_unique<Network>(
+        sim_, [this](NodeIndex n) { return online_.contains(n); },
+        std::make_unique<ConstantLatency>(sim::SimDuration::millis(50)),
+        sim::Rng(1));
+  }
+
+  sim::Simulator sim_;
+  std::set<NodeIndex> online_;
+  std::unique_ptr<Network> network_;
+};
+
+TEST_F(NetworkTest, DeliversToOnlineNodeAfterLatency) {
+  bool delivered = false;
+  sim::SimTime at;
+  network_->send(1, [&](sim::SimTime t) {
+    delivered = true;
+    at = t;
+  });
+  sim_.runAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(at, sim::SimTime::millis(50));
+  EXPECT_EQ(network_->stats().delivered, 1u);
+}
+
+TEST_F(NetworkTest, DropsToOfflineNode) {
+  online_.erase(2);
+  bool delivered = false;
+  network_->send(2, [&](sim::SimTime) { delivered = true; });
+  sim_.runAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network_->stats().droppedOffline, 1u);
+}
+
+TEST_F(NetworkTest, OnlineCheckedAtDeliveryInstantNotSendInstant) {
+  // Node goes offline while the message is in flight: must drop.
+  bool delivered = false;
+  network_->send(3, [&](sim::SimTime) { delivered = true; });
+  sim_.schedule(sim::SimDuration::millis(10), [&] { online_.erase(3); });
+  sim_.runAll();
+  EXPECT_FALSE(delivered);
+
+  // And the converse: node comes online while in flight: must deliver.
+  network_->send(9, [&](sim::SimTime) { delivered = true; });
+  sim_.schedule(sim::SimDuration::millis(10), [&] { online_.insert(9); });
+  sim_.runAll();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, AckPathFiresOnAcceptance) {
+  bool acked = false;
+  bool timedOut = false;
+  network_->sendWithAck(
+      1, [](sim::SimTime) { return true; }, [&] { acked = true; },
+      [&] { timedOut = true; }, sim::SimDuration::millis(300));
+  sim_.runAll();
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(timedOut);
+  EXPECT_EQ(network_->stats().acksSent, 1u);
+}
+
+TEST_F(NetworkTest, TimeoutFiresWhenReceiverOffline) {
+  online_.erase(1);
+  bool acked = false;
+  bool timedOut = false;
+  network_->sendWithAck(
+      1, [](sim::SimTime) { return true; }, [&] { acked = true; },
+      [&] { timedOut = true; }, sim::SimDuration::millis(300));
+  sim_.runAll();
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timedOut);
+  EXPECT_EQ(network_->stats().ackTimeouts, 1u);
+  EXPECT_EQ(sim_.now(), sim::SimTime::millis(300));
+}
+
+TEST_F(NetworkTest, TimeoutFiresWhenReceiverRejects) {
+  bool delivered = false;
+  bool acked = false;
+  bool timedOut = false;
+  network_->sendWithAck(
+      1,
+      [&](sim::SimTime) {
+        delivered = true;
+        return false;  // receiver-side verification failed
+      },
+      [&] { acked = true; }, [&] { timedOut = true; },
+      sim::SimDuration::millis(300));
+  sim_.runAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_FALSE(acked);
+  EXPECT_TRUE(timedOut);
+}
+
+TEST_F(NetworkTest, ExactlyOneOfAckAndTimeout) {
+  // Ack arrives at 100 ms (50 + 50) with a 100 ms timeout: a tie must
+  // still resolve to exactly one callback.
+  int ackCount = 0;
+  int timeoutCount = 0;
+  network_->sendWithAck(
+      1, [](sim::SimTime) { return true; }, [&] { ++ackCount; },
+      [&] { ++timeoutCount; }, sim::SimDuration::millis(100));
+  sim_.runAll();
+  EXPECT_EQ(ackCount + timeoutCount, 1);
+}
+
+TEST_F(NetworkTest, ByteAccounting) {
+  network_->send(1, [](sim::SimTime) {}, 500);
+  sim_.runAll();
+  EXPECT_EQ(network_->stats().bytesSent, 500u);
+  network_->resetStats();
+  EXPECT_EQ(network_->stats().bytesSent, 0u);
+  EXPECT_EQ(network_->stats().sent, 0u);
+}
+
+TEST(LatencyTest, UniformStaysInRange) {
+  UniformLatency lat(sim::SimDuration::millis(20), sim::SimDuration::millis(80));
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = lat.sample(rng);
+    ASSERT_GE(d, sim::SimDuration::millis(20));
+    ASSERT_LE(d, sim::SimDuration::millis(80));
+  }
+}
+
+TEST(LatencyTest, UniformDegenerateRange) {
+  UniformLatency lat(sim::SimDuration::millis(5), sim::SimDuration::millis(5));
+  sim::Rng rng(3);
+  EXPECT_EQ(lat.sample(rng), sim::SimDuration::millis(5));
+}
+
+TEST(LatencyTest, RejectsBadRanges) {
+  EXPECT_THROW(UniformLatency(sim::SimDuration::millis(10),
+                              sim::SimDuration::millis(5)),
+               std::invalid_argument);
+  EXPECT_THROW(ConstantLatency(sim::SimDuration::millis(-1)),
+               std::invalid_argument);
+}
+
+TEST(LatencyTest, PaperDefaultIs20To80Ms) {
+  auto lat = paperDefaultLatency();
+  sim::Rng rng(4);
+  sim::SimDuration lo = sim::SimDuration::hours(1);
+  sim::SimDuration hi = sim::SimDuration::zero();
+  for (int i = 0; i < 5000; ++i) {
+    const auto d = lat->sample(rng);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GE(lo, sim::SimDuration::millis(20));
+  EXPECT_LE(hi, sim::SimDuration::millis(80));
+  // The distribution actually spans the range.
+  EXPECT_LT(lo, sim::SimDuration::millis(25));
+  EXPECT_GT(hi, sim::SimDuration::millis(75));
+}
+
+}  // namespace
+}  // namespace avmem::net

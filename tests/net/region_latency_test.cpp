@@ -1,0 +1,97 @@
+#include "net/region_latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::net {
+namespace {
+
+TEST(RegionLatencyTest, RejectsZeroRegions) {
+  EXPECT_THROW(RegionLatency(10, 0, sim::SimDuration::millis(1),
+                             sim::SimDuration::millis(2),
+                             sim::SimDuration::millis(3),
+                             sim::SimDuration::millis(4), sim::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(RegionLatencyTest, AssignmentIsStableAndCovered) {
+  RegionLatency lat(1000, 8, sim::SimDuration::millis(5),
+                    sim::SimDuration::millis(20),
+                    sim::SimDuration::millis(40),
+                    sim::SimDuration::millis(160), sim::Rng(2));
+  ASSERT_EQ(lat.nodeCount(), 1000u);
+  std::vector<int> perRegion(8, 0);
+  for (NodeIndex n = 0; n < 1000; ++n) {
+    const auto r = lat.regionOf(n);
+    ASSERT_LT(r, 8u);
+    ++perRegion[r];
+    EXPECT_EQ(lat.regionOf(n), r);  // stable
+  }
+  for (const int c : perRegion) {
+    EXPECT_GT(c, 60);  // roughly balanced (expected 125)
+  }
+}
+
+TEST(RegionLatencyTest, IntraIsFasterThanInter) {
+  RegionLatency lat(100, 4, sim::SimDuration::millis(5),
+                    sim::SimDuration::millis(20),
+                    sim::SimDuration::millis(40),
+                    sim::SimDuration::millis(160), sim::Rng(3));
+  sim::Rng rng(4);
+
+  // Find an intra pair and an inter pair.
+  NodeIndex intraA = 0, intraB = 0, interA = 0, interB = 0;
+  bool haveIntra = false, haveInter = false;
+  for (NodeIndex a = 0; a < 100 && !(haveIntra && haveInter); ++a) {
+    for (NodeIndex b = a + 1; b < 100; ++b) {
+      if (lat.regionOf(a) == lat.regionOf(b) && !haveIntra) {
+        intraA = a;
+        intraB = b;
+        haveIntra = true;
+      }
+      if (lat.regionOf(a) != lat.regionOf(b) && !haveInter) {
+        interA = a;
+        interB = b;
+        haveInter = true;
+      }
+    }
+  }
+  ASSERT_TRUE(haveIntra);
+  ASSERT_TRUE(haveInter);
+
+  for (int i = 0; i < 200; ++i) {
+    const auto d = lat.sampleBetween(intraA, intraB, rng);
+    EXPECT_GE(d, sim::SimDuration::millis(5));
+    EXPECT_LE(d, sim::SimDuration::millis(20));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto d = lat.sampleBetween(interA, interB, rng);
+    EXPECT_GE(d, sim::SimDuration::millis(40));
+    EXPECT_LE(d, sim::SimDuration::millis(160));
+  }
+}
+
+TEST(RegionLatencyTest, EndpointBlindSampleIsConservative) {
+  RegionLatency lat(50, 4, sim::SimDuration::millis(5),
+                    sim::SimDuration::millis(20),
+                    sim::SimDuration::millis(40),
+                    sim::SimDuration::millis(160), sim::Rng(5));
+  sim::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = lat.sample(rng);
+    EXPECT_GE(d, sim::SimDuration::millis(40));
+    EXPECT_LE(d, sim::SimDuration::millis(160));
+  }
+}
+
+TEST(RegionLatencyTest, PlanetLabFactoryShape) {
+  auto lat = planetLabLatency(200, sim::Rng(7));
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->nodeCount(), 200u);
+  // 8 regions by construction: all region ids below 8.
+  for (NodeIndex n = 0; n < 200; ++n) {
+    EXPECT_LT(lat->regionOf(n), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace avmem::net

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avmem::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::seconds(3), [&] { fired.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { fired.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { fired.push_back(2); });
+
+  SimTime at;
+  EventQueue::Callback fn;
+  while (q.popNext(at, fn)) fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, StableFifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::seconds(5), [&fired, i] { fired.push_back(i); });
+  }
+  SimTime at;
+  EventQueue::Callback fn;
+  while (q.popNext(at, fn)) fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelSuppressesEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+
+  SimTime at;
+  EventQueue::Callback fn;
+  EXPECT_FALSE(q.popNext(at, fn));  // cancelled event is skipped
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime::seconds(1), [] {});
+  SimTime at;
+  EventQueue::Callback fn;
+  ASSERT_TRUE(q.popNext(at, fn));
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt anything
+  EXPECT_FALSE(q.popNext(at, fn));
+}
+
+TEST(EventQueueTest, NextTimeAndSize) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(SimTime::seconds(9), [] {});
+  q.schedule(SimTime::seconds(4), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.nextTime(), SimTime::seconds(4));
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+}  // namespace
+}  // namespace avmem::sim

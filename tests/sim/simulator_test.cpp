@@ -1,0 +1,131 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avmem::sim {
+namespace {
+
+TEST(SimTimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_EQ(SimTime::minutes(1), SimTime::seconds(60));
+  EXPECT_EQ(SimTime::hours(1), SimTime::minutes(60));
+  EXPECT_EQ(SimTime::days(1), SimTime::hours(24));
+  EXPECT_DOUBLE_EQ(SimTime::millis(1500).toSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(90).toMinutes(), 1.5);
+  EXPECT_EQ(SimTime::fromSeconds(0.25), SimTime::millis(250));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime t = SimTime::seconds(10) + SimTime::seconds(5);
+  EXPECT_EQ(t, SimTime::seconds(15));
+  EXPECT_EQ(t - SimTime::seconds(5), SimTime::seconds(10));
+  EXPECT_EQ(SimTime::seconds(3) * 4, SimTime::seconds(12));
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+}
+
+TEST(SimTimeTest, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(SimTime::micros(500).toString(), "500us");
+  EXPECT_EQ(SimTime::millis(20).toString(), "20.0ms");
+  EXPECT_EQ(SimTime::seconds(3).toString(), "3.00s");
+  EXPECT_EQ(SimTime::minutes(90).toString(), "1h30m");
+  EXPECT_EQ(SimTime::days(2).toString(), "2d00h");
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  std::vector<double> firedAt;
+  sim.schedule(SimTime::seconds(2),
+               [&] { firedAt.push_back(sim.now().toSeconds()); });
+  sim.schedule(SimTime::seconds(1),
+               [&] { firedAt.push_back(sim.now().toSeconds()); });
+  sim.runAll();
+  EXPECT_EQ(firedAt, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(5), [&] { ++fired; });
+  sim.runUntil(SimTime::seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(3));  // clock parked at the bound
+  sim.runUntil(SimTime::seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactBoundRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(SimTime::seconds(3), [&] { fired = true; });
+  sim.runUntil(SimTime::seconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(SimTime::seconds(1), recurse);
+  };
+  sim.schedule(SimTime::seconds(1), recurse);
+  sim.runAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(SimTime::seconds(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, ScheduleAtPastThrows) {
+  Simulator sim;
+  sim.schedule(SimTime::seconds(2), [] {});
+  sim.runAll();
+  EXPECT_THROW(sim.scheduleAt(SimTime::seconds(1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(PeriodicTaskTest, FiresOnSchedule) {
+  Simulator sim;
+  PeriodicTask task;
+  std::vector<double> times;
+  task.start(sim, SimTime::seconds(1), SimTime::seconds(2),
+             [&] { times.push_back(sim.now().toSeconds()); });
+  sim.runUntil(SimTime::seconds(8));
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(PeriodicTaskTest, StopInsideCallback) {
+  Simulator sim;
+  PeriodicTask task;
+  int fired = 0;
+  task.start(sim, SimTime::seconds(1), SimTime::seconds(1), [&] {
+    if (++fired == 3) task.stop();
+  });
+  sim.runUntil(SimTime::seconds(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTaskTest, DestructorCancelsPendingFiring) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTask task;
+    task.start(sim, SimTime::seconds(1), SimTime::seconds(1),
+               [&] { ++fired; });
+    sim.runUntil(SimTime::seconds(2));
+    EXPECT_EQ(fired, 2);
+  }
+  sim.runUntil(SimTime::seconds(10));
+  EXPECT_EQ(fired, 2);  // no firings after destruction
+}
+
+}  // namespace
+}  // namespace avmem::sim

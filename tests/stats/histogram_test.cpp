@@ -1,0 +1,92 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::stats {
+namespace {
+
+TEST(HistogramTest, RejectsBadGeometry) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinIndexing) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.binIndex(0.0), 0u);
+  EXPECT_EQ(h.binIndex(0.05), 0u);
+  EXPECT_EQ(h.binIndex(0.15), 1u);
+  EXPECT_EQ(h.binIndex(0.95), 9u);
+  EXPECT_EQ(h.binIndex(1.0), 9u);  // hi clamps into the last bin
+  EXPECT_EQ(h.binIndex(-5.0), 0u);
+  EXPECT_EQ(h.binIndex(5.0), 9u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.binWidth(), 0.25);
+  EXPECT_DOUBLE_EQ(h.binLo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.binHi(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.binMid(1), 0.375);
+}
+
+TEST(HistogramTest, FractionAndDensity) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 30; ++i) h.add(0.05);  // bin 0
+  for (int i = 0; i < 70; ++i) h.add(0.55);  // bin 5
+  EXPECT_EQ(h.totalCount(), 100u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.3);
+  EXPECT_DOUBLE_EQ(h.fraction(5), 0.7);
+  EXPECT_DOUBLE_EQ(h.fraction(9), 0.0);
+  // density = fraction / width.
+  EXPECT_DOUBLE_EQ(h.densityAt(0.05), 3.0);
+  EXPECT_DOUBLE_EQ(h.densityAt(0.55), 7.0);
+}
+
+TEST(HistogramTest, CdfAt) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(0.05);
+  for (int i = 0; i < 50; ++i) h.add(0.95);
+  EXPECT_DOUBLE_EQ(h.cdfAt(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdfAt(0.09), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdfAt(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdfAt(1.0), 1.0);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 10);
+  h.add(0.75, 30);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.count(1), 30u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+}
+
+TEST(HistogramTest, MergeRequiresSameGeometry) {
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  Histogram c(0.0, 1.0, 10);
+  c.add(0.5);
+  a.add(0.1);
+  a.merge(c);
+  EXPECT_EQ(a.totalCount(), 2u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.clear();
+  EXPECT_EQ(h.totalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.densityAt(0.5), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQueriesAreSafe) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.densityAt(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace avmem::stats

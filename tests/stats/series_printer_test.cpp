@@ -1,0 +1,67 @@
+#include "stats/series_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avmem::stats {
+namespace {
+
+TEST(TablePrinterTest, AlignsHeadersAndRows) {
+  TablePrinter t({"alpha", "beta"});
+  t.addRow({1.0, 2.5});
+  t.addRow({10.0, 0.125});
+  EXPECT_EQ(t.rowCount(), 2u);
+
+  std::ostringstream os;
+  t.print(os, 3);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+  // One header line + two data lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, PrecisionIsHonored) {
+  TablePrinter t({"x"});
+  t.addRow({1.0 / 3.0});
+  std::ostringstream os;
+  t.print(os, 2);
+  EXPECT_NE(os.str().find("0.33"), std::string::npos);
+  EXPECT_EQ(os.str().find("0.333"), std::string::npos);
+}
+
+TEST(PrintCdfTest, EmitsEverySampleWithCumulativeFractions) {
+  EmpiricalCdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  std::ostringstream os;
+  printCdf(os, "test", cdf);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# CDF: test (n=2)"), std::string::npos);
+  EXPECT_NE(out.find("1.0000\t0.5000"), std::string::npos);
+  EXPECT_NE(out.find("3.0000\t1.0000"), std::string::npos);
+}
+
+TEST(PrintCdfCompactTest, DownsamplesToRequestedPoints) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 1000; ++i) cdf.add(i);
+  std::ostringstream os;
+  printCdfCompact(os, "big", cdf, 5);
+  const std::string out = os.str();
+  // Header + exactly 5 quantile lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+  EXPECT_NE(out.find("\t1.0000"), std::string::npos);  // final quantile
+}
+
+TEST(PrintCdfCompactTest, EmptyCdfIsHandled) {
+  EmpiricalCdf cdf;
+  std::ostringstream os;
+  printCdfCompact(os, "empty", cdf, 5);
+  EXPECT_NE(os.str().find("(empty)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avmem::stats

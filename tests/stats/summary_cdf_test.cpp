@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace avmem::stats {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsNeutral) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, SampleVarianceBesselCorrected) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  sim::Rng rng(3);
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmptySides) {
+  Summary a;
+  Summary b;
+  b.add(2.0);
+  a.merge(b);  // empty += non-empty
+  EXPECT_EQ(a.count(), 1u);
+  Summary c;
+  a.merge(c);  // non-empty += empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(EmpiricalCdfTest, QuantilesOnKnownData) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.median(), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+}
+
+TEST(EmpiricalCdfTest, FractionBelow) {
+  EmpiricalCdf cdf;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(2.0), 0.5);   // <= semantics
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(3.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyCdfBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 0.0);
+  EXPECT_THROW((void)cdf.quantile(0.5), std::logic_error);
+}
+
+TEST(EmpiricalCdfTest, InterleavedAddAndQuery) {
+  // The lazy-sorting invariant: mutations after queries re-sort correctly.
+  EmpiricalCdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+  cdf.add(1.0);
+  cdf.add(9.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 9.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+}
+
+TEST(EmpiricalCdfTest, BulkAdd) {
+  EmpiricalCdf cdf;
+  cdf.add(std::vector<double>{3.0, 1.0, 2.0});
+  EXPECT_EQ(cdf.count(), 3u);
+  const auto sorted = cdf.sortedSamples();
+  EXPECT_DOUBLE_EQ(sorted.front(), 1.0);
+  EXPECT_DOUBLE_EQ(sorted.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace avmem::stats

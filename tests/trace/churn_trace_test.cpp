@@ -1,0 +1,99 @@
+#include "trace/churn_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avmem::trace {
+namespace {
+
+ChurnTrace makeTinyTrace() {
+  // Host 0: 1 0 1 0 ; host 1: 1 1 1 1 ; host 2: 0 0 0 1. 1-minute epochs.
+  return ChurnTrace(
+      {
+          {1, 0, 1, 0},
+          {1, 1, 1, 1},
+          {0, 0, 0, 1},
+      },
+      sim::SimDuration::minutes(1));
+}
+
+TEST(ChurnTraceTest, RejectsMalformedInput) {
+  EXPECT_THROW(ChurnTrace({}, sim::SimDuration::minutes(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ChurnTrace({{}}, sim::SimDuration::minutes(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ChurnTrace({{1, 0}, {1}}, sim::SimDuration::minutes(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ChurnTrace({{1}}, sim::SimDuration::zero()),
+               std::invalid_argument);
+}
+
+TEST(ChurnTraceTest, BasicGeometry) {
+  const auto t = makeTinyTrace();
+  EXPECT_EQ(t.hostCount(), 3u);
+  EXPECT_EQ(t.epochCount(), 4u);
+  EXPECT_EQ(t.duration(), sim::SimDuration::minutes(4));
+  EXPECT_EQ(t.epochStart(2), sim::SimTime::minutes(2));
+}
+
+TEST(ChurnTraceTest, EpochAtBoundaries) {
+  const auto t = makeTinyTrace();
+  EXPECT_EQ(t.epochAt(sim::SimTime::zero()), 0u);
+  EXPECT_EQ(t.epochAt(sim::SimTime::seconds(59)), 0u);
+  EXPECT_EQ(t.epochAt(sim::SimTime::minutes(1)), 1u);
+  EXPECT_EQ(t.epochAt(sim::SimTime::minutes(3)), 3u);
+  // Past the end clamps to the final epoch.
+  EXPECT_EQ(t.epochAt(sim::SimTime::minutes(100)), 3u);
+}
+
+TEST(ChurnTraceTest, OnlineQueries) {
+  const auto t = makeTinyTrace();
+  EXPECT_TRUE(t.onlineInEpoch(0, 0));
+  EXPECT_FALSE(t.onlineInEpoch(0, 1));
+  EXPECT_TRUE(t.onlineAt(1, sim::SimTime::minutes(3)));
+  EXPECT_FALSE(t.onlineAt(2, sim::SimTime::zero()));
+  EXPECT_TRUE(t.onlineAt(2, sim::SimTime::minutes(3)));
+}
+
+TEST(ChurnTraceTest, OnlineHostsPerEpoch) {
+  const auto t = makeTinyTrace();
+  EXPECT_EQ(t.onlineCountInEpoch(0), 2u);
+  EXPECT_EQ(t.onlineCountInEpoch(1), 1u);
+  EXPECT_EQ(t.onlineHostsInEpoch(3), (std::vector<HostIndex>{1, 2}));
+}
+
+TEST(ChurnTraceTest, AvailabilityPrefixSums) {
+  const auto t = makeTinyTrace();
+  // Host 0 (1 0 1 0): availability after e epochs.
+  EXPECT_DOUBLE_EQ(t.availabilityUpToEpoch(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.availabilityUpToEpoch(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t.availabilityUpToEpoch(0, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(t.availabilityUpToEpoch(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(t.fullAvailability(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.fullAvailability(2), 0.25);
+  // Epochs beyond the end clamp.
+  EXPECT_DOUBLE_EQ(t.availabilityUpToEpoch(0, 99), 0.5);
+}
+
+TEST(ChurnTraceTest, AvailabilityAtTime) {
+  const auto t = makeTinyTrace();
+  EXPECT_DOUBLE_EQ(t.availabilityAt(0, sim::SimTime::seconds(30)), 1.0);
+  EXPECT_DOUBLE_EQ(t.availabilityAt(0, sim::SimTime::minutes(1)), 0.5);
+}
+
+TEST(ChurnTraceTest, WindowedAvailability) {
+  const auto t = makeTinyTrace();
+  // Host 0 (1 0 1 0), window of 2 ending at epoch 2 -> epochs {1,2} -> 0.5.
+  EXPECT_DOUBLE_EQ(t.windowedAvailability(0, 2, 2), 0.5);
+  // Window larger than history clips to the start.
+  EXPECT_DOUBLE_EQ(t.windowedAvailability(0, 1, 10), 0.5);
+  EXPECT_THROW((void)t.windowedAvailability(0, 1, 0), std::invalid_argument);
+}
+
+TEST(ChurnTraceTest, OutOfRangeHostThrows) {
+  const auto t = makeTinyTrace();
+  EXPECT_THROW((void)t.onlineInEpoch(99, 0), std::out_of_range);
+  EXPECT_THROW((void)t.availabilityUpToEpoch(99, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace avmem::trace

@@ -1,0 +1,173 @@
+#include "trace/overnet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "trace/trace_io.hpp"
+
+#include <sstream>
+
+namespace avmem::trace {
+namespace {
+
+TEST(OvernetGeneratorTest, PaperScaleDefaults) {
+  OvernetTraceConfig cfg;  // defaults = paper scale
+  cfg.hosts = 200;         // shrink population for test speed, keep epochs
+  const auto t = generateOvernetTrace(cfg);
+  EXPECT_EQ(t.hostCount(), 200u);
+  EXPECT_EQ(t.epochCount(), 504u);  // 7 days at 20-minute epochs
+  EXPECT_EQ(t.epochDuration(), sim::SimDuration::minutes(20));
+}
+
+TEST(OvernetGeneratorTest, DeterministicInSeed) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 50;
+  cfg.epochs = 100;
+  const auto a = generateOvernetTrace(cfg);
+  const auto b = generateOvernetTrace(cfg);
+  for (HostIndex h = 0; h < 50; ++h) {
+    for (std::size_t e = 0; e < 100; ++e) {
+      ASSERT_EQ(a.onlineInEpoch(h, e), b.onlineInEpoch(h, e));
+    }
+  }
+  cfg.seed = 43;
+  const auto c = generateOvernetTrace(cfg);
+  std::size_t diffs = 0;
+  for (HostIndex h = 0; h < 50; ++h) {
+    for (std::size_t e = 0; e < 100; ++e) {
+      diffs += (a.onlineInEpoch(h, e) != c.onlineInEpoch(h, e)) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(diffs, 100u);  // a different seed produces a different world
+}
+
+TEST(OvernetGeneratorTest, SkewMatchesOvernetCharacterization) {
+  // Bhagwan et al.: ~50% of hosts have long-term availability below 0.3.
+  OvernetTraceConfig cfg;
+  cfg.hosts = 1442;
+  const auto t = generateOvernetTrace(cfg);
+  std::size_t below03 = 0;
+  for (HostIndex h = 0; h < cfg.hosts; ++h) {
+    if (t.fullAvailability(h) < 0.3) ++below03;
+  }
+  const double frac = static_cast<double>(below03) / cfg.hosts;
+  EXPECT_NEAR(frac, 0.5, 0.08);
+}
+
+TEST(OvernetGeneratorTest, FullPopulationSpansAvailabilitySpectrum) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 1000;
+  const auto t = generateOvernetTrace(cfg);
+  stats::Summary s;
+  for (HostIndex h = 0; h < cfg.hosts; ++h) s.add(t.fullAvailability(h));
+  EXPECT_LT(s.min(), 0.1);
+  EXPECT_GT(s.max(), 0.95);
+  EXPECT_GT(s.mean(), 0.3);
+  EXPECT_LT(s.mean(), 0.6);
+}
+
+TEST(OvernetGeneratorTest, StationaryMarkovTracksIntrinsicAvailability) {
+  // With the mixture collapsed to a point mass, every host's measured
+  // availability must concentrate around the intrinsic value.
+  OvernetTraceConfig cfg;
+  cfg.hosts = 60;
+  cfg.epochs = 2000;
+  cfg.diurnalAmplitude = 0.0;
+  cfg.lowWeight = 1.0;
+  cfg.lowMin = cfg.lowMax = 0.4;
+  cfg.midWeight = cfg.highWeight = cfg.serverWeight = 0.0;
+  const auto t = generateOvernetTrace(cfg);
+  stats::Summary s;
+  for (HostIndex h = 0; h < cfg.hosts; ++h) s.add(t.fullAvailability(h));
+  EXPECT_NEAR(s.mean(), 0.4, 0.03);
+}
+
+TEST(OvernetGeneratorTest, SessionLengthsFollowMeanParameter) {
+  // Mean online-run length must track meanSessionEpochs.
+  OvernetTraceConfig cfg;
+  cfg.hosts = 40;
+  cfg.epochs = 3000;
+  cfg.diurnalAmplitude = 0.0;
+  cfg.lowWeight = 1.0;
+  cfg.lowMin = cfg.lowMax = 0.5;
+  cfg.midWeight = cfg.highWeight = cfg.serverWeight = 0.0;
+  cfg.meanSessionEpochs = 4.0;
+  const auto t = generateOvernetTrace(cfg);
+
+  std::uint64_t runs = 0;
+  std::uint64_t onEpochs = 0;
+  for (HostIndex h = 0; h < cfg.hosts; ++h) {
+    bool prev = false;
+    for (std::size_t e = 0; e < cfg.epochs; ++e) {
+      const bool on = t.onlineInEpoch(h, e);
+      if (on) {
+        ++onEpochs;
+        if (!prev) ++runs;
+      }
+      prev = on;
+    }
+  }
+  const double meanRun =
+      static_cast<double>(onEpochs) / static_cast<double>(runs);
+  EXPECT_NEAR(meanRun, 4.0, 0.5);
+}
+
+TEST(OvernetGeneratorTest, RejectsEmptyConfigs) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 0;
+  EXPECT_THROW(generateOvernetTrace(cfg), std::invalid_argument);
+  cfg.hosts = 10;
+  cfg.epochs = 0;
+  EXPECT_THROW(generateOvernetTrace(cfg), std::invalid_argument);
+  cfg.epochs = 10;
+  cfg.lowWeight = cfg.midWeight = cfg.highWeight = cfg.serverWeight = 0.0;
+  EXPECT_THROW(generateOvernetTrace(cfg), std::invalid_argument);
+}
+
+TEST(TraceIoTest, RoundTripsThroughText) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 20;
+  cfg.epochs = 50;
+  const auto t = generateOvernetTrace(cfg);
+
+  std::stringstream buf;
+  saveTrace(buf, t);
+  const auto loaded = loadTrace(buf);
+
+  ASSERT_EQ(loaded.hostCount(), t.hostCount());
+  ASSERT_EQ(loaded.epochCount(), t.epochCount());
+  EXPECT_EQ(loaded.epochDuration(), t.epochDuration());
+  for (HostIndex h = 0; h < t.hostCount(); ++h) {
+    for (std::size_t e = 0; e < t.epochCount(); ++e) {
+      ASSERT_EQ(loaded.onlineInEpoch(h, e), t.onlineInEpoch(h, e));
+    }
+  }
+}
+
+TEST(TraceIoTest, RejectsCorruptInput) {
+  {
+    std::stringstream s("NOT-A-TRACE\n");
+    EXPECT_THROW(loadTrace(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("AVMEM-TRACE v1\nhosts 2 epochs 3 epoch_us 100\n101\n");
+    EXPECT_THROW(loadTrace(s), std::runtime_error);  // truncated host list
+  }
+  {
+    std::stringstream s(
+        "AVMEM-TRACE v1\nhosts 1 epochs 3 epoch_us 100\n1x1\n");
+    EXPECT_THROW(loadTrace(s), std::runtime_error);  // invalid character
+  }
+  {
+    std::stringstream s(
+        "AVMEM-TRACE v1\nhosts 1 epochs 3 epoch_us 100\n10\n");
+    EXPECT_THROW(loadTrace(s), std::runtime_error);  // wrong epoch count
+  }
+  {
+    std::stringstream s("AVMEM-TRACE v1\nhosts 0 epochs 3 epoch_us 100\n");
+    EXPECT_THROW(loadTrace(s), std::runtime_error);  // empty population
+  }
+}
+
+}  // namespace
+}  // namespace avmem::trace

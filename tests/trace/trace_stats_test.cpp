@@ -1,0 +1,72 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/overnet_generator.hpp"
+
+namespace avmem::trace {
+namespace {
+
+TEST(TraceStatsTest, HandComputableTinyTrace) {
+  // Host 0: 1 1 0 0 1 1 (sessions 2,2; absence 2) — availability 4/6.
+  // Host 1: 0 0 0 0 0 0 — availability 0.
+  ChurnTrace t(
+      {
+          {1, 1, 0, 0, 1, 1},
+          {0, 0, 0, 0, 0, 0},
+      },
+      sim::SimDuration::minutes(20));
+  const auto s = characterizeTrace(t);
+
+  EXPECT_DOUBLE_EQ(s.fractionBelow03, 0.5);  // host 1 below 0.3
+  // Sessions: host0 {2, 2}; host1 none.
+  EXPECT_EQ(s.sessionEpochs.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.sessionEpochs.mean(), 2.0);
+  // Absences: host0 {2}; host1 {6}.
+  EXPECT_EQ(s.absenceEpochs.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.absenceEpochs.mean(), 4.0);
+  // Online population per epoch: 1 1 0 0 1 1 -> mean 2/3.
+  EXPECT_NEAR(s.onlinePerEpoch.mean(), 2.0 / 3.0, 1e-12);
+  // Trace shorter than a day: no diurnal profile.
+  EXPECT_TRUE(s.diurnalProfile.empty());
+  EXPECT_DOUBLE_EQ(s.diurnalSwing(), 1.0);
+}
+
+TEST(TraceStatsTest, SyntheticOvernetMatchesHeadlineNumbers) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 1442;
+  const auto t = generateOvernetTrace(cfg);
+  const auto s = characterizeTrace(t);
+
+  // Bhagwan et al.: ~half the hosts below 0.3 availability.
+  EXPECT_NEAR(s.fractionBelow03, 0.5, 0.08);
+  // Mean session near the configured 3 epochs (1 hour).
+  EXPECT_NEAR(s.sessionEpochs.mean(), cfg.meanSessionEpochs, 1.2);
+  // A visible but moderate diurnal swing from the configured modulation.
+  ASSERT_FALSE(s.diurnalProfile.empty());
+  EXPECT_GT(s.diurnalSwing(), 1.02);
+  EXPECT_LT(s.diurnalSwing(), 1.6);
+  // Online population well below the full population at all times.
+  EXPECT_LT(s.onlinePerEpoch.max(), 1442.0);
+  EXPECT_GT(s.onlinePerEpoch.min(), 100.0);
+}
+
+TEST(TraceStatsTest, DiurnalAmplitudeZeroFlattensProfile) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 400;
+  cfg.diurnalAmplitude = 0.0;
+  const auto s = characterizeTrace(generateOvernetTrace(cfg));
+  ASSERT_FALSE(s.diurnalProfile.empty());
+  EXPECT_LT(s.diurnalSwing(), 1.15);  // statistical noise only
+}
+
+TEST(TraceStatsTest, MarginalHistogramSumsToHostCount) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 300;
+  cfg.epochs = 100;
+  const auto s = characterizeTrace(generateOvernetTrace(cfg));
+  EXPECT_EQ(s.availabilityMarginal.totalCount(), 300u);
+}
+
+}  // namespace
+}  // namespace avmem::trace
