@@ -31,7 +31,7 @@ int main() {
     ++population[std::min(static_cast<int>(av * kRanges), kRanges - 1)];
   }
   for (const auto i : online) {
-    for (const auto& e : system->node(i).verticalSliver().entries()) {
+    for (const auto& e : system->node(i).verticalSliver().snapshot()) {
       const double targetAv = system->trueAvailability(e.peer);
       ++incoming[std::min(static_cast<int>(targetAv * kRanges), kRanges - 1)];
     }

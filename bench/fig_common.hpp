@@ -12,45 +12,64 @@
 #include <string>
 
 #include "core/attack.hpp"
+#include "core/scenario.hpp"
 #include "core/simulation.hpp"
 #include "stats/series_printer.hpp"
 
 namespace avmem::benchfig {
 
-/// Scale knobs resolved from the environment.
+/// Scale knobs resolved from the environment. Backed by the shared
+/// "paper-default" scenario (core/scenario.hpp); AVMEM_FAST maps onto the
+/// scenario's smoke tuning.
 struct BenchEnv {
   std::uint32_t hosts = 1442;
   sim::SimDuration warmup = sim::SimDuration::hours(24);
   std::size_t messagesPerPoint = 50;  ///< paper: 5 runs x 50 messages
   std::size_t runsPerPoint = 5;
   std::uint64_t seed = 20070101;      ///< Middleware 2007 vintage
+  bool fast = false;
 
   [[nodiscard]] static BenchEnv fromEnv() {
     BenchEnv env;
     if (const char* fast = std::getenv("AVMEM_FAST");
         fast != nullptr && fast[0] == '1') {
-      env.hosts = 400;
-      env.warmup = sim::SimDuration::hours(4);
+      env.fast = true;
       env.messagesPerPoint = 20;
       env.runsPerPoint = 2;
     }
     if (const char* seed = std::getenv("AVMEM_SEED"); seed != nullptr) {
       env.seed = std::strtoull(seed, nullptr, 10);
     }
+    // Resolve hosts/warmup from the scenario (hosts intentionally left to
+    // the scenario here — tuning.hosts = 0 = "scenario default"), then
+    // read the *effective* seed back so the bench header always reports
+    // what actually ran (tuning treats seed 0 as "keep default").
+    core::ScenarioTuning tuning;
+    tuning.seed = env.seed;
+    tuning.fast = env.fast;
+    const auto scenario = core::makeScenario("paper-default", tuning);
+    env.hosts = scenario.config.trace.hosts;
+    env.warmup = scenario.warmup;
+    env.seed = scenario.config.seed;
     return env;
+  }
+
+  [[nodiscard]] core::ScenarioTuning scenarioTuning() const {
+    core::ScenarioTuning tuning;
+    tuning.hosts = hosts;  // honors caller overrides of env.hosts
+    tuning.seed = seed;
+    tuning.fast = fast;
+    return tuning;
   }
 };
 
-/// The paper's default experimental system.
+/// The paper's default experimental system, via the scenario registry.
 [[nodiscard]] inline core::SimulationConfig defaultConfig(
     const BenchEnv& env,
     core::PredicateChoice predicate = core::PredicateChoice::kPaperDefault) {
-  core::SimulationConfig cfg;
-  cfg.trace.hosts = env.hosts;
-  cfg.backend = core::AvailabilityBackend::kAvmon;
-  cfg.predicate = predicate;
-  cfg.seed = env.seed;
-  return cfg;
+  auto scenario = core::makeScenario("paper-default", env.scenarioTuning());
+  scenario.config.predicate = predicate;
+  return scenario.config;
 }
 
 /// Build and warm the system, logging progress to stderr (stdout carries

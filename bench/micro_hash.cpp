@@ -37,17 +37,44 @@ void BM_Md5(benchmark::State& state) {
 }
 BENCHMARK(BM_Md5)->Arg(12)->Arg(64)->Arg(1024)->Arg(65536);
 
+hashing::PairHashAlgorithm algorithmArg(std::int64_t arg) {
+  switch (arg) {
+    case 1:
+      return hashing::PairHashAlgorithm::kMd5;
+    case 2:
+      return hashing::PairHashAlgorithm::kFast64;
+    case 0:
+    default:
+      return hashing::PairHashAlgorithm::kSha1;
+  }
+}
+
+// Arg: 0 = SHA-1 (paper default), 1 = MD5, 2 = kFast64 (scale mode).
+// The acceptance bar for scale mode is kFast64 >= 5x SHA-1 throughput.
 void BM_PairHash(benchmark::State& state) {
-  const hashing::PairHasher hasher(
-      state.range(0) == 0 ? hashing::PairHashAlgorithm::kSha1
-                          : hashing::PairHashAlgorithm::kMd5);
+  const hashing::PairHasher hasher(algorithmArg(state.range(0)));
   const std::array<std::uint8_t, 6> a{10, 0, 0, 1, 4, 210};
   const std::array<std::uint8_t, 6> b{10, 0, 0, 2, 8, 161};
   for (auto _ : state) {
     benchmark::DoNotOptimize(hasher(a, b));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_PairHash)->Arg(0)->Arg(1);
+BENCHMARK(BM_PairHash)->Arg(0)->Arg(1)->Arg(2);
+
+// The raw mixer, without the PairHasher dispatch: what Discovery pays per
+// predicate evaluation in scale mode.
+void BM_Fast64Pair(benchmark::State& state) {
+  const std::array<std::uint8_t, 6> a{10, 0, 0, 1, 4, 210};
+  std::array<std::uint8_t, 6> b{10, 0, 0, 2, 8, 161};
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    b[5] = static_cast<std::uint8_t>(++k);  // defeat constant folding
+    benchmark::DoNotOptimize(hashing::fast64Pair(42, a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fast64Pair);
 
 void BM_CachedPairHash(benchmark::State& state) {
   hashing::CachingPairHasher cache;

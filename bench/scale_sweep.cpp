@@ -1,0 +1,130 @@
+// Scale sweep: how far past the paper's 1442 hosts does the system go?
+//
+// For each population size the sweep builds the scale-mode scenario
+// (oracle availability, kFast64 pair hash, compact fast-churning views,
+// sharded maintenance — see core/scenario.hpp), warms it up, then runs a
+// MID-band anycast batch, reporting wall-clock per phase plus the two
+// numbers the refactor is about:
+//
+//  * maintenance timers in the event queue — O(shards), flat in N;
+//  * event and predicate-evaluation throughput — the hash is off the
+//    critical path with kFast64.
+//
+// Environment:
+//   AVMEM_SCALE_NS    comma list of population sizes
+//                     (default "10000,30000,100000")
+//   AVMEM_SCALE_SEED  base RNG seed (default 20070101)
+//   AVMEM_FAST=1      smoke footprint: "2000" nodes, 30 min warm-up
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace avmem;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<std::uint32_t> populationSizes(bool fast) {
+  std::string spec = fast ? "2000" : "10000,30000,100000";
+  if (const char* ns = std::getenv("AVMEM_SCALE_NS"); ns != nullptr) {
+    spec = ns;
+  }
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      const auto n =
+          static_cast<std::uint32_t>(std::strtoul(token.c_str(), nullptr, 10));
+      if (n >= 2) {
+        out.push_back(n);
+      } else {
+        std::cerr << "scale_sweep: ignoring AVMEM_SCALE_NS entry '" << token
+                  << "' (need an integer >= 2)\n";
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = [] {
+    const char* f = std::getenv("AVMEM_FAST");
+    return f != nullptr && f[0] == '1';
+  }();
+  std::uint64_t seed = 20070101;
+  if (const char* s = std::getenv("AVMEM_SCALE_SEED"); s != nullptr) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+
+  std::cout << "# scale_sweep: maintenance + anycast throughput vs N\n";
+  std::cout << "# scale mode: oracle availability, kFast64 pair hash, "
+               "sharded maintenance\n";
+  std::cout << "# n build_s warmup_s warmup_sim_h events events_per_s "
+               "maint_timers mean_degree anycasts delivered batch_s\n";
+
+  for (const std::uint32_t n : populationSizes(fast)) {
+    auto scenario = core::makeScaleScenario(n, seed);
+    if (fast) scenario.warmup = sim::SimDuration::minutes(30);
+    std::cerr << "building " << scenario.name << "...\n";
+
+    const auto tBuild = Clock::now();
+    core::AvmemSimulation system(scenario.config);
+    const double buildS = secondsSince(tBuild);
+
+    std::cerr << "warming up " << scenario.warmup.toString()
+              << " simulated...\n";
+    const auto tWarm = Clock::now();
+    system.warmup(scenario.warmup);
+    const double warmupS = secondsSince(tWarm);
+    const std::uint64_t warmupEvents = system.simulator().executedEvents();
+
+    // Mean degree over a fixed-size sample (full scans are O(N) and tell
+    // the same story).
+    const std::size_t sample = std::min<std::size_t>(n, 2000);
+    double degree = 0.0;
+    for (std::size_t i = 0; i < sample; ++i) {
+      degree += static_cast<double>(
+          system.node(static_cast<net::NodeIndex>(i)).degree());
+    }
+    degree /= static_cast<double>(sample);
+
+    // The proof that maintenance pressure is O(shards): periodic timers
+    // the engine keeps in the queue, independent of N.
+    const std::size_t maintTimers =
+        system.membershipEngine().scheduledTimerCount();
+
+    std::cerr << "anycast batch...\n";
+    core::AnycastParams params;
+    params.range = core::AvRange::threshold(0.7);
+    params.strategy = core::AnycastStrategy::kRetriedGreedy;
+    const auto tBatch = Clock::now();
+    const auto batch = system.runAnycastBatch(core::AvBand::mid(), params,
+                                              fast ? 10 : 20);
+    const double batchS = secondsSince(tBatch);
+
+    std::cout << n << " " << buildS << " " << warmupS << " "
+              << scenario.warmup.toHours() << " " << warmupEvents << " "
+              << (warmupS > 0.0
+                      ? static_cast<double>(warmupEvents) / warmupS
+                      : 0.0)
+              << " " << maintTimers << " " << degree << " " << batch.count()
+              << " " << batch.deliveredFraction() << " " << batchS << "\n";
+  }
+  return 0;
+}

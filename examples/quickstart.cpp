@@ -2,34 +2,49 @@
 // trace, inspect a node's slivers, then run one range-anycast and one
 // threshold-multicast.
 //
-//   ./quickstart [hosts] [warmup_hours]
+//   ./quickstart [scenario] [hosts]
 //
-// Defaults are sized for a fast demo (400 hosts, 4 h warm-up); pass
-// 1442 24 for the paper's full setup.
+// Scenarios come from the shared registry (core/scenario.hpp); the default
+// is the paper setup shrunk to a fast demo. Pass "paper-default" for the
+// full 1442-host / 24 h configuration, or any other registered name
+// (run with an unknown name to list them).
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/attack.hpp"
+#include "core/scenario.hpp"
 #include "core/simulation.hpp"
 
 int main(int argc, char** argv) {
   using namespace avmem;
 
-  core::SimulationConfig config;
-  config.trace.hosts = argc > 1 ? static_cast<std::uint32_t>(
-                                      std::strtoul(argv[1], nullptr, 10))
-                                : 400;
-  const std::int64_t warmupHours =
-      argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 4;
-  config.seed = 7;
+  const std::string scenarioName = argc > 1 ? argv[1] : "paper-default";
+  core::ScenarioTuning tuning;
+  tuning.fast = argc <= 1;  // no args = fast demo footprint
+  tuning.seed = 7;
+  if (argc > 2) {
+    tuning.hosts =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
 
-  std::cout << "Building AVMEM system: " << config.trace.hosts
-            << " hosts, 7-day synthetic Overnet trace\n";
-  core::AvmemSimulation system(config);
+  if (!core::ScenarioRegistry::global().contains(scenarioName)) {
+    std::cerr << "unknown scenario '" << scenarioName << "'; available:\n";
+    for (const auto& name : core::ScenarioRegistry::global().names()) {
+      std::cerr << "  " << name << "\n";
+    }
+    return 1;
+  }
+  const auto scenario = core::makeScenario(scenarioName, tuning);
+
+  std::cout << "Building AVMEM system: scenario " << scenario.name << ", "
+            << scenario.config.trace.hosts << " hosts\n";
+  core::AvmemSimulation system(scenario.config);
   std::cout << "Predicate: " << system.predicate().name() << "\n";
 
-  std::cout << "Warming up " << warmupHours << "h of simulated time...\n";
-  system.warmup(sim::SimDuration::hours(warmupHours));
+  std::cout << "Warming up " << scenario.warmup.toString()
+            << " of simulated time...\n";
+  system.warmup(scenario.warmup);
 
   const auto online = system.onlineNodes();
   std::cout << "Online nodes: " << online.size() << " / "

@@ -16,6 +16,7 @@ ShuffleService::ShuffleService(sim::Simulator& sim, net::Network& network,
       viewSize_(config.viewSize),
       gossipLength_(config.gossipLength),
       period_(config.period),
+      shards_(config.shards),
       rng_(rng),
       views_(nodeCount) {
   if (nodeCount < 2) {
@@ -42,17 +43,13 @@ void ShuffleService::start() {
     }
   }
 
-  tasks_.clear();
-  tasks_.reserve(n);
-  for (NodeIndex i = 0; i < n; ++i) {
-    auto task = std::make_unique<sim::PeriodicTask>();
-    // Stagger the first firing uniformly inside one period.
-    const auto offset = sim::SimDuration::micros(static_cast<std::int64_t>(
-        rng_.below(static_cast<std::uint64_t>(period_.toMicros()))));
-    task->start(sim_, sim_.now() + offset, period_,
-                [this, i] { initiateShuffle(i); });
-    tasks_.push_back(std::move(task));
-  }
+  // Initiations ride a sharded timing wheel: every node still starts one
+  // exchange per period at a staggered offset, but the event queue holds
+  // O(shards) timers instead of one per node.
+  schedule_.start(sim_, period_, shards_, n, rng_.fork("shuffle-jitter"),
+                  [this](std::uint32_t i) {
+                    initiateShuffle(static_cast<NodeIndex>(i));
+                  });
 }
 
 std::vector<NodeIndex> ShuffleService::sampleSubset(NodeIndex n) {

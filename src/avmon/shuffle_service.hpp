@@ -20,6 +20,7 @@
 
 #include "net/network.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace avmem::avmon {
@@ -32,6 +33,8 @@ struct ShuffleConfig {
   std::size_t gossipLength = 8;
   /// How often each online node initiates a shuffle.
   sim::SimDuration period = sim::SimDuration::minutes(1);
+  /// Timing-wheel slots for the initiation schedule; 0 = auto.
+  std::size_t shards = 0;
 };
 
 /// Owns every node's coarse view and drives the periodic exchanges.
@@ -91,9 +94,10 @@ class ShuffleService {
   std::size_t viewSize_;
   std::size_t gossipLength_;
   sim::SimDuration period_;
+  std::size_t shards_;
   sim::Rng rng_;
   std::vector<std::vector<net::NodeIndex>> views_;
-  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+  sim::ShardedScheduler schedule_;
   std::uint64_t completedShuffles_ = 0;
 };
 

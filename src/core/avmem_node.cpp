@@ -4,12 +4,8 @@ namespace avmem::core {
 
 std::vector<NeighborEntry> AvmemNode::neighbors(SliverSet set) const {
   std::vector<NeighborEntry> out;
-  if (set != SliverSet::kVsOnly) {
-    out.insert(out.end(), hs_.entries().begin(), hs_.entries().end());
-  }
-  if (set != SliverSet::kHsOnly) {
-    out.insert(out.end(), vs_.entries().begin(), vs_.entries().end());
-  }
+  if (set != SliverSet::kVsOnly) hs_.appendTo(out);
+  if (set != SliverSet::kHsOnly) vs_.appendTo(out);
   return out;
 }
 
@@ -33,7 +29,7 @@ std::optional<AvmemNode::Evaluation> AvmemNode::evaluatePeer(NodeIndex peer) {
   return ev;
 }
 
-void AvmemNode::discoverOnce(const std::vector<NodeIndex>& view) {
+void AvmemNode::discoverBatch(std::span<const NodeIndex> view) {
   ++stats_.discoveryRounds;
   updateSelfAvailability();
 
@@ -48,11 +44,12 @@ void AvmemNode::discoverOnce(const std::vector<NodeIndex>& view) {
   }
 }
 
-void AvmemNode::adoptCoarseView(const std::vector<NodeIndex>& view) {
+void AvmemNode::adoptCoarseView(std::span<const NodeIndex> view) {
   ++stats_.discoveryRounds;
   updateSelfAvailability();
   hs_.clear();
   vs_.clear();
+  vs_.reserve(view.size());
   for (const NodeIndex peer : view) {
     if (peer == self_) continue;
     ++stats_.availabilityQueries;
@@ -62,29 +59,44 @@ void AvmemNode::adoptCoarseView(const std::vector<NodeIndex>& view) {
   }
 }
 
-void AvmemNode::refreshOnce() {
-  ++stats_.refreshRounds;
-  updateSelfAvailability();
-
-  // Collect peers first: re-filing between slivers mutates both lists.
-  std::vector<NodeIndex> peers;
-  peers.reserve(degree());
-  for (const auto& e : hs_.entries()) peers.push_back(e.peer);
-  for (const auto& e : vs_.entries()) peers.push_back(e.peer);
-
-  for (const NodeIndex peer : peers) {
+void AvmemNode::refreshSliver(
+    SliverList& own, SliverKind ownKind,
+    std::vector<std::pair<NodeIndex, double>>& moved) {
+  // Single in-place pass over the flat arrays; removeAt swaps the back
+  // entry into position i, so i only advances when the entry survives.
+  for (std::size_t i = 0; i < own.size();) {
+    const NodeIndex peer = own.peerAt(i);
     const auto ev = evaluatePeer(peer);
     if (!ev || !ev->member) {
       // Predicate no longer holds (availability drift) or the service
       // lost track of the peer: evict, per the Refresh sub-protocol.
-      if (hs_.remove(peer) || vs_.remove(peer)) ++stats_.neighborsEvicted;
+      own.removeAt(i);
+      ++stats_.neighborsEvicted;
       continue;
     }
-    SliverList& correct = ev->kind == SliverKind::kHorizontal ? hs_ : vs_;
-    SliverList& other = ev->kind == SliverKind::kHorizontal ? vs_ : hs_;
-    other.remove(peer);
-    correct.upsert(peer, ev->peerAv, ctx_->sim.now());
+    if (ev->kind != ownKind) {
+      moved.emplace_back(peer, ev->peerAv);
+      own.removeAt(i);
+      continue;
+    }
+    own.refreshAt(i, ev->peerAv, ctx_->sim.now());
+    ++i;
   }
+}
+
+void AvmemNode::refreshBatch() {
+  ++stats_.refreshRounds;
+  updateSelfAvailability();
+
+  // Entries whose classification moved are collected during the passes and
+  // re-filed afterwards, so each neighbor is evaluated exactly once per
+  // round (an entry moved HS -> VS must not be re-scanned by the VS pass).
+  std::vector<std::pair<NodeIndex, double>> toVs;
+  std::vector<std::pair<NodeIndex, double>> toHs;
+  refreshSliver(hs_, SliverKind::kHorizontal, toVs);
+  refreshSliver(vs_, SliverKind::kVertical, toHs);
+  for (const auto& [peer, av] : toVs) vs_.upsert(peer, av, ctx_->sim.now());
+  for (const auto& [peer, av] : toHs) hs_.upsert(peer, av, ctx_->sim.now());
 }
 
 bool AvmemNode::verifyIncoming(NodeIndex sender) {
@@ -96,12 +108,12 @@ bool AvmemNode::verifyIncoming(NodeIndex sender) {
   // to its own monitoring answer, and a stale value from before an
   // offline period would corrupt the judgment.
   updateSelfAvailability();
+  ++stats_.availabilityQueries;
   const auto senderAv = ctx_->availability.query(self_, sender);
   if (!senderAv) {
     ++stats_.messagesRejected;
     return false;
   }
-  ++stats_.availabilityQueries;
   const double h = ctx_->hashOf(sender, self_);
   const bool ok = ctx_->predicate.evaluate(h, *senderAv, selfAv_,
                                            ctx_->config.cushion);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "avmon/availability_service.hpp"
@@ -78,16 +79,23 @@ class AvmemNode {
   /// (HS first). Entries carry cached availabilities for routing.
   [[nodiscard]] std::vector<NeighborEntry> neighbors(SliverSet set) const;
 
-  /// One Discovery round: scan the coarse `view`, test the predicate
-  /// against monitoring-service availabilities, admit matching peers into
-  /// the proper sliver. No-op while this node is offline (callers gate on
-  /// churn; see AvmemSimulation).
-  void discoverOnce(const std::vector<NodeIndex>& view);
+  /// One Discovery round over a batch of candidates: scan the coarse
+  /// `view`, test the predicate against monitoring-service availabilities,
+  /// admit matching peers into the proper sliver. No-op while this node is
+  /// offline (callers gate on churn; see MembershipEngine).
+  void discoverBatch(std::span<const NodeIndex> view);
 
-  /// One Refresh round: re-fetch availabilities for every neighbor,
-  /// re-evaluate M(self, peer), evict entries whose predicate turned
-  /// false, and re-file entries whose sliver classification moved.
-  void refreshOnce();
+  /// One Refresh round over both slivers: re-fetch availabilities for
+  /// every neighbor in one flat pass, re-evaluate M(self, peer), evict
+  /// entries whose predicate turned false, re-file entries whose sliver
+  /// classification moved.
+  void refreshBatch();
+
+  /// Single-round conveniences (unit tests drive these directly).
+  void discoverOnce(const std::vector<NodeIndex>& view) {
+    discoverBatch(view);
+  }
+  void refreshOnce() { refreshBatch(); }
 
   /// Receiver-side verification (paper Section 4.1): would this node
   /// accept a message from `sender`? Re-evaluates M(sender, self) with
@@ -102,7 +110,7 @@ class AvmemNode {
   /// overlays only — see SimulationConfig::useCoarseViewOverlay). All
   /// entries land in the vertical sliver with freshly-queried
   /// availabilities; the horizontal sliver is cleared.
-  void adoptCoarseView(const std::vector<NodeIndex>& view);
+  void adoptCoarseView(std::span<const NodeIndex> view);
 
   /// Drop a neighbor known to be unreachable (failure feedback from
   /// routing, mirrors the shuffle service's eviction of dead entries).
@@ -120,6 +128,11 @@ class AvmemNode {
     double peerAv = 0.0;
   };
   [[nodiscard]] std::optional<Evaluation> evaluatePeer(NodeIndex peer);
+
+  /// One Refresh pass over `own`: evict dead entries in place, refresh
+  /// live ones, collect entries that re-classified into the other sliver.
+  void refreshSliver(SliverList& own, SliverKind ownKind,
+                     std::vector<std::pair<NodeIndex, double>>& moved);
 
   NodeIndex self_;
   ProtocolContext* ctx_;

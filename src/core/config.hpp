@@ -24,8 +24,11 @@ struct ProtocolConfig {
   /// Additive slack on receiver-side verification (paper Section 4.1,
   /// Figures 5-6). 0 = strict.
   double cushion = 0.0;
-  /// Digest behind the pair hash H.
+  /// Function behind the pair hash H. SHA-1 is the paper-fidelity default;
+  /// kFast64 is the scale-mode option (see hash/fast64.hpp).
   hashing::PairHashAlgorithm hashAlgorithm = hashing::PairHashAlgorithm::kSha1;
+  /// Deployment seed for kFast64 (ignored by the digest backends).
+  std::uint64_t hashSeed = hashing::kFast64DefaultSeed;
 };
 
 /// Anycast forwarding strategies (paper Section 3.2).

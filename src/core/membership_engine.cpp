@@ -1,0 +1,58 @@
+#include "core/membership_engine.hpp"
+
+namespace avmem::core {
+
+using net::NodeIndex;
+
+void MembershipEngine::start() {
+  if (started_) return;
+  started_ = true;
+
+  const std::size_t n = nodes_.size();
+
+  // Discovery: every protocol period, scan the coarse view. Offline nodes
+  // skip the round (they are not running). In coarse-view-overlay mode
+  // (Figure-10 baseline) the view *is* the membership list, so the round
+  // adopts it wholesale instead.
+  discovery_.start(sim_, config_.discoveryPeriod, config_.shards, n,
+                   rng_.fork("discovery-jitter"),
+                   [this](std::uint32_t i) { discoveryTick(i); });
+
+  // Refresh: every refresh period, re-validate both slivers (no-op for
+  // the view overlay, whose list is rebuilt every round anyway).
+  if (!config_.coarseViewOverlay) {
+    refresh_.start(sim_, config_.refreshPeriod, config_.shards, n,
+                   rng_.fork("refresh-jitter"),
+                   [this](std::uint32_t i) { refreshTick(i); });
+  }
+}
+
+void MembershipEngine::stop() {
+  discovery_.stop();
+  refresh_.stop();
+  started_ = false;
+}
+
+void MembershipEngine::discoveryTick(NodeIndex i) {
+  if (!online_(i)) {
+    ++stats_.skippedOffline;
+    return;
+  }
+  ++stats_.discoveryRounds;
+  if (config_.coarseViewOverlay) {
+    nodes_[i].adoptCoarseView(view_(i));
+  } else {
+    nodes_[i].discoverBatch(view_(i));
+  }
+}
+
+void MembershipEngine::refreshTick(NodeIndex i) {
+  if (!online_(i)) {
+    ++stats_.skippedOffline;
+    return;
+  }
+  ++stats_.refreshRounds;
+  nodes_[i].refreshBatch();
+}
+
+}  // namespace avmem::core

@@ -1,0 +1,114 @@
+// The membership maintenance engine: Discovery and Refresh for the whole
+// population, decoupled from the experiment facade.
+//
+// AVMEM separates mechanism from policy: the *predicate* decides who
+// belongs in a list, the *maintenance machinery* merely keeps evaluating it
+// against the churning coarse views. This engine is that machinery. It owns
+// the maintenance schedule for every node and drives the batched
+// discover/refresh entry points on AvmemNode; the schedule itself is a
+// sharded timing wheel (sim/sharded_scheduler.hpp), so the event queue
+// carries O(shards) maintenance timers instead of 2·N PeriodicTasks —
+// the difference between thousands and millions of nodes.
+//
+// The engine is policy-free: it does not know which availability backend,
+// predicate, or view substrate is plugged in. AvmemSimulation assembles
+// those and hands the engine callables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/avmem_node.hpp"
+#include "sim/random.hpp"
+#include "sim/sharded_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmem::core {
+
+/// Maintenance knobs (a projection of ProtocolConfig plus sim-layer
+/// scheduling parameters).
+struct MembershipEngineConfig {
+  sim::SimDuration discoveryPeriod = sim::SimDuration::minutes(1);
+  sim::SimDuration refreshPeriod = sim::SimDuration::minutes(20);
+  /// Timing-wheel slots per schedule; 0 = auto (per-node up to 256).
+  std::size_t shards = 0;
+  /// Figure-10 baseline: adopt the raw coarse view instead of running
+  /// predicate-driven Discovery; Refresh is a no-op in this mode.
+  bool coarseViewOverlay = false;
+};
+
+/// Engine-level counters (per-node counters live in NodeStats).
+struct MembershipEngineStats {
+  std::uint64_t discoveryRounds = 0;  ///< per-node discovery firings
+  std::uint64_t refreshRounds = 0;    ///< per-node refresh firings
+  std::uint64_t skippedOffline = 0;   ///< firings gated out by churn
+};
+
+/// Owns discovery/refresh scheduling for all nodes.
+class MembershipEngine {
+ public:
+  /// The current coarse view of a node (the shuffle substrate).
+  using ViewFn =
+      std::function<std::span<const net::NodeIndex>(net::NodeIndex)>;
+  /// Is a node online right now (the churn oracle)?
+  using OnlineFn = std::function<bool(net::NodeIndex)>;
+
+  MembershipEngine(sim::Simulator& sim, std::vector<AvmemNode>& nodes,
+                   ViewFn view, OnlineFn online,
+                   const MembershipEngineConfig& config, sim::Rng rng)
+      : sim_(sim),
+        nodes_(nodes),
+        view_(std::move(view)),
+        online_(std::move(online)),
+        config_(config),
+        rng_(rng) {}
+
+  MembershipEngine(const MembershipEngine&) = delete;
+  MembershipEngine& operator=(const MembershipEngine&) = delete;
+
+  /// Begin the maintenance schedules. Idempotent.
+  void start();
+
+  /// Cancel all maintenance timers.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return discovery_.running() || refresh_.running();
+  }
+
+  /// Periodic heap entries this engine costs — O(shards), not O(nodes).
+  [[nodiscard]] std::size_t scheduledTimerCount() const noexcept {
+    return discovery_.activeShardCount() + refresh_.activeShardCount();
+  }
+
+  [[nodiscard]] const sim::ShardedScheduler& discoveryScheduler()
+      const noexcept {
+    return discovery_;
+  }
+  [[nodiscard]] const sim::ShardedScheduler& refreshScheduler()
+      const noexcept {
+    return refresh_;
+  }
+  [[nodiscard]] const MembershipEngineStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void discoveryTick(net::NodeIndex i);
+  void refreshTick(net::NodeIndex i);
+
+  sim::Simulator& sim_;
+  std::vector<AvmemNode>& nodes_;
+  ViewFn view_;
+  OnlineFn online_;
+  MembershipEngineConfig config_;
+  sim::Rng rng_;
+  sim::ShardedScheduler discovery_;
+  sim::ShardedScheduler refresh_;
+  MembershipEngineStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace avmem::core

@@ -1,0 +1,194 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avmem::core {
+
+namespace {
+
+/// Apply the caller's host/seed overrides to an already-built scenario.
+void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
+  if (tuning.hosts != 0) s.config.trace.hosts = tuning.hosts;
+  if (tuning.seed != 0) s.config.seed = tuning.seed;
+}
+
+/// The Middleware 2007 evaluation setup (fig_common.hpp's former
+/// hand-rolled block): 1442 hosts, 7-day synthetic Overnet trace, AVMON
+/// monitoring, SHA-1 pair hash, 24 h warm-up.
+Scenario buildPaperDefault(const ScenarioTuning& tuning) {
+  Scenario s;
+  s.name = "paper-default";
+  s.config.trace.hosts = 1442;
+  s.config.backend = AvailabilityBackend::kAvmon;
+  s.config.predicate = PredicateChoice::kPaperDefault;
+  s.config.seed = 20070101;  // Middleware 2007 vintage
+  s.warmup = sim::SimDuration::hours(24);
+  if (tuning.fast) {
+    s.config.trace.hosts = 400;
+    s.warmup = sim::SimDuration::hours(4);
+  }
+  applyCommonTuning(s, tuning);
+  return s;
+}
+
+/// A compact oracle-backed world: the configuration most unit/integration
+/// tests and quick demos use (isolates protocol behaviour from estimate
+/// noise).
+Scenario buildOracleSmall(const ScenarioTuning& tuning) {
+  Scenario s;
+  s.name = "oracle-small";
+  s.config.trace.hosts = 150;
+  s.config.backend = AvailabilityBackend::kOracle;
+  s.config.seed = 51;
+  s.warmup = sim::SimDuration::hours(6);
+  if (tuning.fast) s.warmup = sim::SimDuration::hours(3);
+  applyCommonTuning(s, tuning);
+  return s;
+}
+
+/// Noisy monitoring for verification/cushion studies (Figures 5-6).
+Scenario buildNoisyVerification(const ScenarioTuning& tuning) {
+  Scenario s = buildOracleSmall(tuning);
+  s.name = "noisy-verification";
+  s.config.backend = AvailabilityBackend::kNoisy;
+  s.config.noisyMaxError = 0.05;
+  return s;
+}
+
+/// The Figure-10 comparator: raw shuffled coarse views as membership.
+Scenario buildCoarseViewBaseline(const ScenarioTuning& tuning) {
+  Scenario s = buildPaperDefault(tuning);
+  s.name = "coarse-view-baseline";
+  s.config.useCoarseViewOverlay = true;
+  return s;
+}
+
+/// The consistent-random overlay (SCAMP-sized), the other Figure-10 line.
+Scenario buildRandomOverlay(const ScenarioTuning& tuning) {
+  Scenario s = buildPaperDefault(tuning);
+  s.name = "random-overlay";
+  s.config.predicate = PredicateChoice::kRandomOverlay;
+  return s;
+}
+
+Scenario buildScale(std::uint32_t hosts, const ScenarioTuning& tuning) {
+  Scenario s = makeScaleScenario(tuning.hosts != 0 ? tuning.hosts : hosts,
+                                 tuning.seed != 0 ? tuning.seed : 20070101);
+  if (tuning.fast) {
+    s.config.trace.hosts = std::min<std::uint32_t>(s.config.trace.hosts, 2000);
+    s.warmup = sim::SimDuration::minutes(30);
+  }
+  return s;
+}
+
+}  // namespace
+
+Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
+  Scenario s;
+  s.name = "scale-" + std::to_string(hosts);
+  s.config.seed = seed;
+
+  // One day of churn is plenty to drive maintenance; the 7-day paper trace
+  // only buys long-term-availability convergence the scale study does not
+  // measure.
+  s.config.trace.hosts = hosts;
+  s.config.trace.epochs = 72;  // 1 day at 20-minute epochs
+  s.config.trace.seed = seed ^ 0x5CA1Eull;
+
+  // Oracle availability: monitoring-substrate accuracy is a paper-fidelity
+  // concern; at scale it would only obscure the maintenance cost.
+  s.config.backend = AvailabilityBackend::kOracle;
+
+  // The scale-mode pair hash: seeded fast mixer instead of SHA-1.
+  s.config.protocol.hashAlgorithm = hashing::PairHashAlgorithm::kFast64;
+  s.config.protocol.hashSeed = seed * 0x9E3779B97F4A7C15ull + 1;
+
+  // Compact, fast-churning views: discovery coverage per round is bounded
+  // by view churn, so a small view with a large gossip exchange finds new
+  // candidates at the same rate while keeping per-round scan cost and
+  // memory O(64) per node instead of O(sqrt(N)).
+  s.config.shuffle.viewSize = 64;
+  s.config.shuffle.gossipLength = 32;
+
+  // Auto-sharded maintenance (O(256) timers regardless of N).
+  s.config.maintenanceShards = 0;
+
+  s.warmup = sim::SimDuration::hours(2);
+  return s;
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  add({"paper-default",
+       "Middleware 2007 evaluation setup: 1442 hosts, AVMON, SHA-1, 24h "
+       "warm-up",
+       buildPaperDefault});
+  add({"oracle-small",
+       "150 hosts over ground-truth availability: quick protocol studies",
+       buildOracleSmall});
+  add({"noisy-verification",
+       "oracle-small with bounded monitoring noise (Figures 5-6 regime)",
+       buildNoisyVerification});
+  add({"coarse-view-baseline",
+       "raw shuffled views as membership (Figure-10 comparator)",
+       buildCoarseViewBaseline});
+  add({"random-overlay",
+       "consistent-random SCAMP-sized overlay (Figure-10 comparator)",
+       buildRandomOverlay});
+  add({"scale-10k", "scale mode at 10k nodes: oracle + kFast64 + shards",
+       [](const ScenarioTuning& t) { return buildScale(10'000, t); }});
+  add({"scale-100k", "scale mode at 100k nodes: oracle + kFast64 + shards",
+       [](const ScenarioTuning& t) { return buildScale(100'000, t); }});
+  add({"scale-1m", "scale mode at 1M nodes: oracle + kFast64 + shards",
+       [](const ScenarioTuning& t) { return buildScale(1'000'000, t); }});
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  for (auto& existing : specs_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+Scenario ScenarioRegistry::build(std::string_view name,
+                                 const ScenarioTuning& tuning) const {
+  const ScenarioSpec* spec = find(name);
+  if (spec == nullptr) {
+    throw std::out_of_range("ScenarioRegistry: unknown scenario '" +
+                            std::string(name) + "'");
+  }
+  return spec->build(tuning);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Scenario makeScenario(std::string_view name, const ScenarioTuning& tuning) {
+  return ScenarioRegistry::global().build(name, tuning);
+}
+
+}  // namespace avmem::core

@@ -135,7 +135,7 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   }
 
   pairHash_ = std::make_unique<hashing::CachingPairHasher>(
-      config.protocol.hashAlgorithm);
+      config.protocol.hashAlgorithm, config.protocol.hashSeed);
 
   ctx_ = std::make_unique<ProtocolContext>(ProtocolContext{
       *sim_, *service_, *predicate_, ids_, *pairHash_, config.protocol});
@@ -145,8 +145,30 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
     nodes_.emplace_back(i, *ctx_);
   }
 
+  avmon::ShuffleConfig shuffleConfig = config.shuffle;
+  if (shuffleConfig.shards == 0) {
+    shuffleConfig.shards = config.maintenanceShards;
+  }
   shuffle_ = std::make_unique<avmon::ShuffleService>(
-      *sim_, *network_, n, config.shuffle, rng_.fork("shuffle"));
+      *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"));
+
+  // Maintenance: the engine owns discovery/refresh for every node over a
+  // sharded schedule — O(shards) timers in the event queue, not O(nodes).
+  MembershipEngineConfig engineConfig;
+  engineConfig.discoveryPeriod = config.protocol.discoveryPeriod;
+  engineConfig.refreshPeriod = config.protocol.refreshPeriod;
+  engineConfig.shards = config.maintenanceShards;
+  engineConfig.coarseViewOverlay = config.useCoarseViewOverlay;
+  auto* shufflePtr = shuffle_.get();
+  engine_ = std::make_unique<MembershipEngine>(
+      *sim_, nodes_,
+      [shufflePtr](NodeIndex i) {
+        return std::span<const NodeIndex>(shufflePtr->viewOf(i));
+      },
+      [tracePtr, simPtr](NodeIndex i) {
+        return tracePtr->onlineAt(i, simPtr->now());
+      },
+      engineConfig, rng_.fork("task-stagger"));
 
   anycastEngine_ = std::make_unique<AnycastEngine>(
       *ctx_, *network_, nodes_, rng_.fork("anycast"));
@@ -160,48 +182,7 @@ void AvmemSimulation::warmup(sim::SimDuration duration) {
   if (!started_) {
     started_ = true;
     shuffle_->start();
-
-    const std::size_t n = nodes_.size();
-    discoveryTasks_.reserve(n);
-    refreshTasks_.reserve(n);
-    sim::Rng stagger = rng_.fork("task-stagger");
-    for (NodeIndex i = 0; i < n; ++i) {
-      // Discovery: every protocol period, scan the coarse view. Offline
-      // nodes skip the round (they are not running). In coarse-view-
-      // overlay mode (Figure-10 baseline) the view *is* the membership
-      // list, so the round adopts it wholesale instead.
-      auto discovery = std::make_unique<sim::PeriodicTask>();
-      const auto dOffset =
-          sim::SimDuration::micros(static_cast<std::int64_t>(stagger.below(
-              static_cast<std::uint64_t>(
-                  config_.protocol.discoveryPeriod.toMicros()))));
-      discovery->start(*sim_, sim_->now() + dOffset,
-                       config_.protocol.discoveryPeriod, [this, i] {
-                         if (!isOnline(i)) return;
-                         if (config_.useCoarseViewOverlay) {
-                           nodes_[i].adoptCoarseView(shuffle_->viewOf(i));
-                         } else {
-                           nodes_[i].discoverOnce(shuffle_->viewOf(i));
-                         }
-                       });
-      discoveryTasks_.push_back(std::move(discovery));
-
-      // Refresh: every refresh period, re-validate both slivers (no-op
-      // for the view overlay, whose list is rebuilt every round anyway).
-      if (!config_.useCoarseViewOverlay) {
-        auto refresh = std::make_unique<sim::PeriodicTask>();
-        const auto rOffset =
-            sim::SimDuration::micros(static_cast<std::int64_t>(stagger.below(
-                static_cast<std::uint64_t>(
-                    config_.protocol.refreshPeriod.toMicros()))));
-        refresh->start(*sim_, sim_->now() + rOffset,
-                       config_.protocol.refreshPeriod, [this, i] {
-                         if (!isOnline(i)) return;
-                         nodes_[i].refreshOnce();
-                       });
-        refreshTasks_.push_back(std::move(refresh));
-      }
-    }
+    engine_->start();
   }
   sim_->runUntil(sim_->now() + duration);
 }
@@ -220,8 +201,7 @@ std::optional<NodeIndex> AvmemSimulation::pickInitiator(AvBand band) {
   const auto n = static_cast<NodeIndex>(nodes_.size());
   for (NodeIndex i = 0; i < n; ++i) {
     if (!isOnline(i)) continue;
-    const double a = trueAvailability(i);
-    if (a >= band.lo && a < band.hi) eligible.push_back(i);
+    if (band.contains(trueAvailability(i))) eligible.push_back(i);
   }
   if (eligible.empty()) return std::nullopt;
   return eligible[rng_.index(eligible.size())];

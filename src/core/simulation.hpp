@@ -1,10 +1,13 @@
 // AvmemSimulation: the full system, assembled.
 //
-// Owns the churn trace, the discrete-event simulator, the network, the
-// availability-monitoring and coarse-view substrates, the predicate, every
-// AVMEM node, and the anycast/multicast engines — i.e. the complete
-// experimental setup of the paper's Section 4. Examples, tests, and every
-// bench binary drive the system through this facade.
+// A thin facade: it wires the churn trace, the discrete-event simulator,
+// the network, the availability-monitoring and coarse-view substrates, the
+// predicate, every AVMEM node, the membership maintenance engine
+// (core/membership_engine.hpp), and the anycast/multicast engines into the
+// complete experimental setup of the paper's Section 4 — then delegates.
+// Maintenance scheduling lives in MembershipEngine; experiment
+// configurations live in the scenario registry (core/scenario.hpp).
+// Examples, tests, and every bench binary drive the system through here.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include "core/anycast.hpp"
 #include "core/avmem_node.hpp"
 #include "core/config.hpp"
+#include "core/membership_engine.hpp"
 #include "core/multicast.hpp"
 #include "core/predicates.hpp"
 #include "net/network.hpp"
@@ -77,6 +81,11 @@ struct SimulationConfig {
 
   std::size_t pdfBins = 20;
   std::uint64_t seed = 1;
+
+  /// Timing-wheel slots per maintenance schedule (discovery, refresh,
+  /// shuffle); 0 = auto (per-node slots up to 256). The event queue holds
+  /// O(shards) maintenance timers regardless of population size.
+  std::size_t maintenanceShards = 0;
 };
 
 /// Availability band used to pick initiators (paper Section 4.2:
@@ -84,14 +93,22 @@ struct SimulationConfig {
 struct AvBand {
   double lo = 0.0;
   double hi = 1.0;
+  /// The HIGH band is closed above — availability 1.0 must qualify — while
+  /// LOW/MID stay half-open so the bands partition [0, 1] exactly.
+  bool inclusiveHi = false;
+
+  [[nodiscard]] constexpr bool contains(double av) const noexcept {
+    return av >= lo && (av < hi || (inclusiveHi && av <= hi));
+  }
+
   [[nodiscard]] static constexpr AvBand low() noexcept {
-    return {0.0, 1.0 / 3.0};
+    return {0.0, 1.0 / 3.0, false};
   }
   [[nodiscard]] static constexpr AvBand mid() noexcept {
-    return {1.0 / 3.0, 2.0 / 3.0};
+    return {1.0 / 3.0, 2.0 / 3.0, false};
   }
   [[nodiscard]] static constexpr AvBand high() noexcept {
-    return {2.0 / 3.0, 1.0000001};
+    return {2.0 / 3.0, 1.0, true};
   }
 };
 
@@ -166,6 +183,9 @@ class AvmemSimulation {
   [[nodiscard]] const avmon::ShuffleService& shuffleService() const noexcept {
     return *shuffle_;
   }
+  [[nodiscard]] const MembershipEngine& membershipEngine() const noexcept {
+    return *engine_;
+  }
   [[nodiscard]] const std::vector<NodeId>& ids() const noexcept {
     return ids_;
   }
@@ -235,8 +255,7 @@ class AvmemSimulation {
   std::unique_ptr<hashing::CachingPairHasher> pairHash_;
   std::unique_ptr<ProtocolContext> ctx_;
   std::vector<AvmemNode> nodes_;
-  std::vector<std::unique_ptr<sim::PeriodicTask>> discoveryTasks_;
-  std::vector<std::unique_ptr<sim::PeriodicTask>> refreshTasks_;
+  std::unique_ptr<MembershipEngine> engine_;
   std::unique_ptr<AnycastEngine> anycastEngine_;
   std::unique_ptr<MulticastEngine> multicastEngine_;
   sim::Rng rng_;

@@ -1,0 +1,79 @@
+// Seeded non-cryptographic 64-bit pair mixing (the kFast64 backend).
+//
+// The AVMEM predicate needs H to be consistent (a pure function of the two
+// identifiers, so any third party re-derives the same value) and uniform on
+// [0, 1) — it does not need preimage resistance. At million-node scale the
+// SHA-1 compression per predicate evaluation dominates Discovery, so scale
+// mode swaps in a splitmix64-style mixer: same consistency contract,
+// ~an-order-of-magnitude cheaper, seeded so that disjoint deployments (or
+// repeated experiments) can re-randomize the overlay wiring.
+//
+// Trade-off vs. the paper's SHA-1 default: verifiability now requires the
+// verifier to know the deployment seed (a well-known constant per overlay),
+// and an adversary who can mine identifiers could bias its hash values.
+// Both are acceptable for simulation at scale; SHA-1 remains the default.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace avmem::hashing {
+
+/// Seed used when a deployment does not pick its own.
+inline constexpr std::uint64_t kFast64DefaultSeed = 0xA7E31EAF00D5EEDull;
+
+/// One stateless SplitMix64 finalization round (Steele et al.): a bijective
+/// avalanche mixer on 64 bits.
+[[nodiscard]] constexpr std::uint64_t fast64Mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Absorb `data` into `state`, 8 bytes at a time (big-endian load, matching
+/// the wire order SHA-1 consumes), length-and-position sensitive: the tail
+/// word carries a sentinel bit and the byte count, so "ab" + "c" never
+/// collides with "a" + "bc".
+[[nodiscard]] constexpr std::uint64_t fast64Absorb(
+    std::uint64_t state, std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      w = (w << 8) | data[i + b];
+    }
+    state = fast64Mix(state ^ w) + 0x9E3779B97F4A7C15ull;
+  }
+  std::uint64_t tail = 1;  // sentinel: trailing zero bytes still count
+  for (; i < data.size(); ++i) {
+    tail = (tail << 8) | data[i];
+  }
+  return fast64Mix(state ^ tail ^
+                   (static_cast<std::uint64_t>(data.size()) << 56));
+}
+
+/// The pair hash: H(a, b) as raw 64 bits. Order-sensitive — the two
+/// identifiers are absorbed sequentially with a domain-separation round
+/// between them, so H(a, b) and H(b, a) are unrelated (the membership
+/// relation M(x, y) is directional).
+[[nodiscard]] constexpr std::uint64_t fast64Pair(
+    std::uint64_t seed, std::span<const std::uint8_t> a,
+    std::span<const std::uint8_t> b) noexcept {
+  std::uint64_t s = fast64Mix(seed ^ 0x9E3779B97F4A7C15ull);
+  s = fast64Absorb(s, a);
+  s = fast64Mix(s + 0xD1B54A32D192ED03ull);
+  s = fast64Absorb(s, b);
+  return fast64Mix(s);
+}
+
+/// Scale a raw 64-bit hash onto [0, 1): keep the top 53 bits so the
+/// quotient is exact in a double and strictly below 1.0 (the same mapping
+/// normalized.hpp applies to digest prefixes).
+[[nodiscard]] constexpr double normalizeU64(std::uint64_t v) noexcept {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+}  // namespace avmem::hashing

@@ -1,0 +1,115 @@
+// Sharded round-robin maintenance scheduling.
+//
+// A population of N members that each need a periodic callback used to cost
+// N PeriodicTask heap entries — at million-node scale the event queue is
+// dominated by maintenance timers, not protocol work. ShardedScheduler keeps
+// the per-member phase jitter (each member still fires once per period, at a
+// member-specific offset) but quantizes the offsets onto K slots of a timing
+// wheel: the queue holds at most K periodic entries regardless of N, and one
+// slot firing walks its members in insertion order.
+//
+// With K >= N every member occupies its own slot and the schedule is the
+// per-member-task schedule exactly; smaller K trades offset granularity
+// (period / K) for O(K) queue pressure. Determinism is preserved: slot
+// assignment is a pure function of the caller-supplied jitter RNG, and
+// within a slot members run in a fixed order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmem::sim {
+
+/// K-slot timing wheel over a fixed member population.
+class ShardedScheduler {
+ public:
+  /// Runs once per period per member; the argument is the member index.
+  using MemberFn = std::function<void(std::uint32_t)>;
+
+  ShardedScheduler() = default;
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  /// Queue-pressure-vs-granularity default: per-member slots up to
+  /// kMaxAutoShards, then capped (offset granularity degrades gracefully:
+  /// period / kMaxAutoShards).
+  static constexpr std::size_t kMaxAutoShards = 256;
+
+  [[nodiscard]] static std::size_t autoShardCount(
+      std::size_t memberCount) noexcept {
+    return std::clamp<std::size_t>(memberCount, std::size_t{1},
+                                   kMaxAutoShards);
+  }
+
+  /// Distribute `memberCount` members over `shardCount` slots (0 = auto)
+  /// of one `period` and begin firing. Member m's phase offset is drawn
+  /// uniformly in [0, period) from `jitter` and quantized to its slot; the
+  /// slot's task first fires at now + slot * period / K, then every
+  /// period. Replaces any schedule already running.
+  void start(Simulator& sim, SimDuration period, std::size_t shardCount,
+             std::size_t memberCount, Rng jitter, MemberFn fn) {
+    stop();
+    fn_ = std::move(fn);
+    memberCount_ = memberCount;
+    if (memberCount == 0 || period <= SimDuration::zero()) return;
+
+    const std::size_t shards =
+        shardCount == 0 ? autoShardCount(memberCount)
+                        : std::min(shardCount, std::max<std::size_t>(
+                                                   memberCount, 1));
+    slots_.assign(shards, {});
+    const auto periodUs = static_cast<std::uint64_t>(period.toMicros());
+    for (std::uint32_t m = 0; m < memberCount; ++m) {
+      const std::uint64_t offsetUs = jitter.below(periodUs);
+      const auto slot = static_cast<std::size_t>(
+          (offsetUs * shards) / periodUs);  // < shards by construction
+      slots_[slot].push_back(m);
+    }
+
+    tasks_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (slots_[s].empty()) continue;  // no timer for an empty slot
+      auto task = std::make_unique<PeriodicTask>();
+      const auto firstAt =
+          sim.now() + SimDuration::micros(static_cast<std::int64_t>(
+                          (periodUs * s) / shards));
+      task->start(sim, firstAt, period, [this, s] {
+        for (const std::uint32_t m : slots_[s]) fn_(m);
+      });
+      tasks_.push_back(std::move(task));
+    }
+  }
+
+  /// Cancel all slot timers; safe to call repeatedly.
+  void stop() noexcept {
+    tasks_.clear();  // PeriodicTask cancels in its destructor
+    slots_.clear();
+  }
+
+  [[nodiscard]] bool running() const noexcept { return !tasks_.empty(); }
+
+  /// Number of populated slots = periodic heap entries this schedule costs.
+  [[nodiscard]] std::size_t activeShardCount() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::size_t memberCount() const noexcept {
+    return memberCount_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> slots_;
+  std::vector<std::unique_ptr<PeriodicTask>> tasks_;
+  MemberFn fn_;
+  std::size_t memberCount_ = 0;
+};
+
+}  // namespace avmem::sim

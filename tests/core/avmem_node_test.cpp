@@ -34,7 +34,7 @@ TEST(AvmemNodeTest, DiscoveryAdmitsExactlyThePredicateMatches) {
   const double selfAv = node.selfAvailability();
   EXPECT_GT(node.horizontalSliver().size(), 0u);
   EXPECT_EQ(node.verticalSliver().size(), 0u);
-  for (const auto& e : node.horizontalSliver().entries()) {
+  for (const auto& e : node.horizontalSliver().snapshot()) {
     EXPECT_LT(std::abs(e.cachedAv - selfAv), 0.1);
     EXPECT_NE(e.peer, node.index());
   }
@@ -249,8 +249,8 @@ TEST(AvmemNodeTest, EvictNeighborRemovesFromEitherSliver) {
   w.sim.runUntil(sim::SimTime::days(2));
   AvmemNode& node = w.nodes[20];
   node.discoverOnce(w.fullView());
-  const auto hsPeer = node.horizontalSliver().entries().front().peer;
-  const auto vsPeer = node.verticalSliver().entries().front().peer;
+  const auto hsPeer = node.horizontalSliver().peerAt(0);
+  const auto vsPeer = node.verticalSliver().peerAt(0);
   node.evictNeighbor(hsPeer);
   node.evictNeighbor(vsPeer);
   EXPECT_FALSE(node.knows(hsPeer));

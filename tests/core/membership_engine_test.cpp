@@ -1,0 +1,112 @@
+// The sharded membership maintenance engine: determinism of the full
+// system under it, O(shards) event-queue pressure, and engine accounting.
+#include "core/membership_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace avmem::core {
+namespace {
+
+SimulationConfig smallConfig(std::uint64_t seed = 303) {
+  SimulationConfig cfg;
+  cfg.trace.hosts = 150;
+  cfg.backend = AvailabilityBackend::kOracle;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MembershipEngineTest, SameSeedGivesIdenticalAnycastOutcomes) {
+  // The sharded schedule is a pure function of (config, seed): two worlds
+  // built alike must produce bit-identical operation outcomes, not just
+  // statistically similar ones.
+  AvmemSimulation a(smallConfig(91));
+  AvmemSimulation b(smallConfig(91));
+  a.warmup(sim::SimDuration::hours(4));
+  b.warmup(sim::SimDuration::hours(4));
+
+  AnycastParams params;
+  params.range = AvRange::closed(0.6, 1.0);
+  params.strategy = AnycastStrategy::kRetriedGreedy;
+  const auto batchA = a.runAnycastBatch(AvBand::mid(), params, 15);
+  const auto batchB = b.runAnycastBatch(AvBand::mid(), params, 15);
+
+  ASSERT_EQ(batchA.count(), batchB.count());
+  for (std::size_t k = 0; k < batchA.count(); ++k) {
+    EXPECT_EQ(batchA.results[k].outcome, batchB.results[k].outcome) << k;
+    EXPECT_EQ(batchA.results[k].hops, batchB.results[k].hops) << k;
+    EXPECT_EQ(batchA.results[k].deliveredTo, batchB.results[k].deliveredTo)
+        << k;
+    EXPECT_EQ(batchA.results[k].latency, batchB.results[k].latency) << k;
+  }
+}
+
+TEST(MembershipEngineTest, SameSeedGivesIdenticalMulticastOutcomes) {
+  AvmemSimulation a(smallConfig(92));
+  AvmemSimulation b(smallConfig(92));
+  a.warmup(sim::SimDuration::hours(4));
+  b.warmup(sim::SimDuration::hours(4));
+
+  const auto initiatorA = a.pickInitiator(AvBand::high());
+  const auto initiatorB = b.pickInitiator(AvBand::high());
+  ASSERT_TRUE(initiatorA.has_value());
+  ASSERT_TRUE(initiatorB.has_value());
+  ASSERT_EQ(*initiatorA, *initiatorB);
+
+  MulticastParams params;
+  params.range = AvRange::threshold(0.5);
+  const auto mA = a.runMulticast(*initiatorA, params);
+  const auto mB = b.runMulticast(*initiatorB, params);
+  EXPECT_EQ(mA.delivered, mB.delivered);
+  EXPECT_EQ(mA.eligible, mB.eligible);
+  EXPECT_EQ(mA.spam, mB.spam);
+  EXPECT_EQ(mA.lastDeliveryLatency, mB.lastDeliveryLatency);
+}
+
+TEST(MembershipEngineTest, MaintenanceTimersAreOShardsNotONodes) {
+  auto cfg = smallConfig();
+  cfg.maintenanceShards = 8;
+  AvmemSimulation s(cfg);
+  s.warmup(sim::SimDuration::minutes(5));
+  // Discovery + refresh schedules, 8 slots each at most — against 150
+  // nodes, which under per-node tasks would pin 300 timers in the heap.
+  const auto timers = s.membershipEngine().scheduledTimerCount();
+  EXPECT_GE(timers, 2u);
+  EXPECT_LE(timers, 16u);
+}
+
+TEST(MembershipEngineTest, AutoShardingCapsTimersForLargePopulations) {
+  auto cfg = smallConfig();
+  cfg.trace.hosts = 600;
+  cfg.trace.epochs = 72;
+  AvmemSimulation s(cfg);
+  s.warmup(sim::SimDuration::minutes(5));
+  EXPECT_LE(s.membershipEngine().scheduledTimerCount(),
+            2 * sim::ShardedScheduler::kMaxAutoShards);
+}
+
+TEST(MembershipEngineTest, EngineCountsRoundsAndChurnSkips) {
+  AvmemSimulation s(smallConfig());
+  s.warmup(sim::SimDuration::hours(2));
+  const auto& stats = s.membershipEngine().stats();
+  EXPECT_GT(stats.discoveryRounds, 0u);
+  EXPECT_GT(stats.refreshRounds, 0u);
+  // Overnet-style churn keeps a sizable fraction of nodes offline, so
+  // some firings must have been gated out.
+  EXPECT_GT(stats.skippedOffline, 0u);
+}
+
+TEST(MembershipEngineTest, CoarseViewModeSchedulesNoRefresh) {
+  auto cfg = smallConfig();
+  cfg.useCoarseViewOverlay = true;
+  AvmemSimulation s(cfg);
+  s.warmup(sim::SimDuration::hours(1));
+  const auto& engine = s.membershipEngine();
+  EXPECT_GT(engine.stats().discoveryRounds, 0u);
+  EXPECT_EQ(engine.stats().refreshRounds, 0u);
+  EXPECT_EQ(engine.refreshScheduler().activeShardCount(), 0u);
+}
+
+}  // namespace
+}  // namespace avmem::core

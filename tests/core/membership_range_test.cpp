@@ -13,11 +13,12 @@ TEST(SliverListTest, UpsertInsertsThenRefreshes) {
   // Second upsert refreshes in place.
   EXPECT_FALSE(list.upsert(7, 0.6, sim::SimTime::seconds(2)));
   EXPECT_EQ(list.size(), 1u);
-  const NeighborEntry* e = list.find(7);
-  ASSERT_NE(e, nullptr);
-  EXPECT_DOUBLE_EQ(e->cachedAv, 0.6);
-  EXPECT_EQ(e->addedAt, sim::SimTime::seconds(1));      // creation preserved
-  EXPECT_EQ(e->refreshedAt, sim::SimTime::seconds(2));  // refresh advanced
+  const std::size_t i = list.indexOf(7);
+  ASSERT_NE(i, SliverList::npos);
+  const NeighborEntry e = list.entryAt(i);
+  EXPECT_DOUBLE_EQ(e.cachedAv, 0.6);
+  EXPECT_EQ(e.addedAt, sim::SimTime::seconds(1));      // creation preserved
+  EXPECT_EQ(e.refreshedAt, sim::SimTime::seconds(2));  // refresh advanced
 }
 
 TEST(SliverListTest, RemoveAndContains) {
@@ -31,9 +32,9 @@ TEST(SliverListTest, RemoveAndContains) {
   EXPECT_EQ(list.size(), 1u);
 }
 
-TEST(SliverListTest, FindMissingReturnsNull) {
+TEST(SliverListTest, FindMissingReturnsNpos) {
   SliverList list;
-  EXPECT_EQ(list.find(9), nullptr);
+  EXPECT_EQ(list.indexOf(9), SliverList::npos);
   EXPECT_TRUE(list.empty());
 }
 

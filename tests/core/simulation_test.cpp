@@ -36,7 +36,7 @@ TEST(SimulationTest, SliversRespectTheActivePredicate) {
   std::size_t checked = 0;
   for (const auto i : s.onlineNodes()) {
     const auto& node = s.node(i);
-    for (const auto& e : node.horizontalSliver().entries()) {
+    for (const auto& e : node.horizontalSliver().snapshot()) {
       // Classification used the owner's estimates at discovery/refresh
       // time; with the oracle backend those equal ground truth, so the
       // cached availability must be in the horizontal band.
@@ -44,7 +44,7 @@ TEST(SimulationTest, SliversRespectTheActivePredicate) {
                 SliverKind::kHorizontal);
       ++checked;
     }
-    for (const auto& e : node.verticalSliver().entries()) {
+    for (const auto& e : node.verticalSliver().snapshot()) {
       EXPECT_EQ(pred.classify(node.selfAvailability(), e.cachedAv),
                 SliverKind::kVertical);
       ++checked;
@@ -76,6 +76,20 @@ TEST(SimulationTest, DifferentSeedsGiveDifferentWorlds) {
     if (a.node(i).degree() == b.node(i).degree()) ++sameDegree;
   }
   EXPECT_LT(sameDegree, a.nodeCount());
+}
+
+TEST(AvBandTest, BandsPartitionTheUnitIntervalExactly) {
+  // HIGH is closed above (perfectly-available nodes must qualify); the
+  // half-open LOW/MID edges hand each boundary to exactly one band.
+  EXPECT_TRUE(AvBand::low().contains(0.0));
+  EXPECT_FALSE(AvBand::low().contains(1.0 / 3.0));
+  EXPECT_TRUE(AvBand::mid().contains(1.0 / 3.0));
+  EXPECT_FALSE(AvBand::mid().contains(2.0 / 3.0));
+  EXPECT_TRUE(AvBand::high().contains(2.0 / 3.0));
+  EXPECT_TRUE(AvBand::high().contains(1.0));
+  EXPECT_FALSE(AvBand::high().contains(1.0 + 1e-9));
+  // Custom bands default to half-open, matching the old behaviour.
+  EXPECT_FALSE((AvBand{0.2, 0.4}.contains(0.4)));
 }
 
 TEST(SimulationTest, PickInitiatorHonorsBandAndOnlineness) {

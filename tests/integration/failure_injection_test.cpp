@@ -53,7 +53,7 @@ TEST(FailureInjectionTest, DiscoveryStallsGracefullyDuringServiceOutage) {
   s.run(sim::SimDuration::hours(4));
   for (net::NodeIndex i = 0; i < s.nodeCount(); ++i) {
     const auto& node = s.node(i);
-    for (const auto& e : node.horizontalSliver().entries()) {
+    for (const auto& e : node.horizontalSliver().snapshot()) {
       EXPECT_NE(e.peer, i);
       EXPECT_GE(e.cachedAv, 0.0);
       EXPECT_LE(e.cachedAv, 1.0);
@@ -136,7 +136,7 @@ TEST(FailureInjectionTest, InflatedAvailabilityClaimsDoNotStick) {
   // Honesty returns; refresh re-evaluates and corrects.
   flaky.setLie(0.0);
   nodes[0].refreshOnce();
-  for (const auto& e : nodes[0].horizontalSliver().entries()) {
+  for (const auto& e : nodes[0].horizontalSliver().snapshot()) {
     EXPECT_LT(std::abs(e.cachedAv - nodes[0].selfAvailability()), 0.1);
   }
   SUCCEED() << "degree under lie=" << liedDegree

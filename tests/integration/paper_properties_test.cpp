@@ -60,7 +60,7 @@ TEST_F(PaperPropertiesTest, VerticalSliverCoversTheAvailabilitySpace) {
   for (const auto i : system_->onlineNodes()) {
     const double av = system_->trueAvailability(i);
     ++population[std::min(static_cast<int>(av * 10), 9)];
-    for (const auto& e : system_->node(i).verticalSliver().entries()) {
+    for (const auto& e : system_->node(i).verticalSliver().snapshot()) {
       const double t = system_->trueAvailability(e.peer);
       ++incoming[std::min(static_cast<int>(t * 10), 9)];
     }

@@ -1,0 +1,95 @@
+// The sharded maintenance timing wheel: per-member cadence with O(shards)
+// queue pressure.
+#include "sim/sharded_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace avmem::sim {
+namespace {
+
+TEST(ShardedSchedulerTest, EachMemberFiresOncePerPeriod) {
+  Simulator sim;
+  ShardedScheduler sched;
+  constexpr std::size_t kMembers = 10;
+  std::vector<int> fired(kMembers, 0);
+  sched.start(sim, SimDuration::seconds(1), 4, kMembers, Rng(7),
+              [&fired](std::uint32_t m) { ++fired[m]; });
+  // Offsets lie in [0, period), so over [0, 5s) every member fires
+  // exactly five times.
+  sim.runUntil(SimTime::seconds(5) - SimDuration::micros(1));
+  for (std::size_t m = 0; m < kMembers; ++m) {
+    EXPECT_EQ(fired[m], 5) << "member " << m;
+  }
+}
+
+TEST(ShardedSchedulerTest, QueuePressureIsShardsNotMembers) {
+  Simulator sim;
+  ShardedScheduler sched;
+  sched.start(sim, SimDuration::minutes(1), 16, 10'000, Rng(3),
+              [](std::uint32_t) {});
+  EXPECT_LE(sched.activeShardCount(), 16u);
+  // One pending heap entry per populated slot — not per member.
+  EXPECT_EQ(sim.pendingEvents(), sched.activeShardCount());
+}
+
+TEST(ShardedSchedulerTest, AutoShardCountIsPerMemberUpToCap) {
+  EXPECT_EQ(ShardedScheduler::autoShardCount(1), 1u);
+  EXPECT_EQ(ShardedScheduler::autoShardCount(10), 10u);
+  EXPECT_EQ(ShardedScheduler::autoShardCount(256), 256u);
+  EXPECT_EQ(ShardedScheduler::autoShardCount(1'000'000),
+            ShardedScheduler::kMaxAutoShards);
+}
+
+TEST(ShardedSchedulerTest, ShardCountClampsToMembers) {
+  Simulator sim;
+  ShardedScheduler sched;
+  sched.start(sim, SimDuration::seconds(1), 64, 8, Rng(5),
+              [](std::uint32_t) {});
+  EXPECT_LE(sched.shardCount(), 8u);
+}
+
+TEST(ShardedSchedulerTest, DeterministicFiringSequence) {
+  auto record = [] {
+    Simulator sim;
+    ShardedScheduler sched;
+    std::vector<std::pair<std::int64_t, std::uint32_t>> seq;
+    sched.start(sim, SimDuration::seconds(2), 0, 50, Rng(42),
+                [&seq, &sim](std::uint32_t m) {
+                  seq.emplace_back(sim.now().toMicros(), m);
+                });
+    sim.runUntil(SimTime::seconds(10));
+    return seq;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(ShardedSchedulerTest, StopCancelsAllTimers) {
+  Simulator sim;
+  ShardedScheduler sched;
+  int fired = 0;
+  sched.start(sim, SimDuration::seconds(1), 4, 20, Rng(9),
+              [&fired](std::uint32_t) { ++fired; });
+  sim.runUntil(SimTime::seconds(3));
+  const int before = fired;
+  EXPECT_GT(before, 0);
+  sched.stop();
+  EXPECT_FALSE(sched.running());
+  sim.runUntil(SimTime::seconds(10));
+  EXPECT_EQ(fired, before);
+}
+
+TEST(ShardedSchedulerTest, EmptyPopulationSchedulesNothing) {
+  Simulator sim;
+  ShardedScheduler sched;
+  sched.start(sim, SimDuration::seconds(1), 4, 0, Rng(1),
+              [](std::uint32_t) { FAIL() << "no member should fire"; });
+  EXPECT_FALSE(sched.running());
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  sim.runUntil(SimTime::seconds(5));
+}
+
+}  // namespace
+}  // namespace avmem::sim
