@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/attack.hpp"
 #include "core/scenario.hpp"
@@ -62,6 +64,23 @@ struct BenchEnv {
     return tuning;
   }
 };
+
+/// The AVMEM_TRACE_BACKEND override (dense | bitpacked | markov); nullopt
+/// when unset — callers keep their scenario's default. Exits with status 2
+/// on an unknown name so CI fails loudly instead of silently benching the
+/// wrong representation.
+[[nodiscard]] inline std::optional<core::TraceBackend> traceBackendFromEnv(
+    std::string_view benchName) {
+  const char* b = std::getenv("AVMEM_TRACE_BACKEND");
+  if (b == nullptr) return std::nullopt;
+  const auto backend = core::parseTraceBackend(b);
+  if (!backend) {
+    std::cerr << benchName << ": unknown AVMEM_TRACE_BACKEND '" << b
+              << "' (want dense|bitpacked|markov)\n";
+    std::exit(2);
+  }
+  return backend;
+}
 
 /// The paper's default experimental system, via the scenario registry.
 [[nodiscard]] inline core::SimulationConfig defaultConfig(

@@ -1,26 +1,39 @@
 // Scale sweep: how far past the paper's 1442 hosts does the system go?
+// Default answer: one million nodes.
 //
 // For each population size the sweep builds the scale-mode scenario
 // (oracle availability, kFast64 pair hash, compact fast-churning views,
-// sharded maintenance — see core/scenario.hpp), warms it up, then runs a
-// MID-band anycast batch, reporting wall-clock per phase plus the two
-// numbers the refactor is about:
+// sharded maintenance, streaming Markov churn — see core/scenario.hpp),
+// warms it up, then runs a MID-band anycast batch, reporting wall-clock
+// per phase plus the three numbers the scale work is about:
 //
 //  * maintenance timers in the event queue — O(shards), flat in N;
 //  * event and predicate-evaluation throughput — the hash is off the
-//    critical path with kFast64.
+//    critical path with kFast64;
+//  * availability-model resident memory — O(hosts) with the Markov
+//    backend, which is what makes the 1M default point fit (a dense
+//    1M-host timeline would be hundreds of MB before the system even
+//    starts).
+//
+// Usage:
+//   scale_sweep [--smoke]    --smoke = AVMEM_FAST=1 footprint
 //
 // Environment:
-//   AVMEM_SCALE_NS    comma list of population sizes
-//                     (default "10000,30000,100000")
-//   AVMEM_SCALE_SEED  base RNG seed (default 20070101)
-//   AVMEM_FAST=1      smoke footprint: "2000" nodes, 30 min warm-up
+//   AVMEM_SCALE_NS        comma list of population sizes
+//                         (default "10000,100000,1000000")
+//   AVMEM_SCALE_SEED      base RNG seed (default 20070101)
+//   AVMEM_TRACE_BACKEND   dense | bitpacked | markov
+//                         (default: the scenario's choice, markov)
+//   AVMEM_FAST=1          smoke footprint: "2000" nodes, 30 min warm-up
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench/fig_common.hpp"
 #include "core/scenario.hpp"
 #include "core/simulation.hpp"
 
@@ -34,7 +47,7 @@ double secondsSince(Clock::time_point t0) {
 }
 
 std::vector<std::uint32_t> populationSizes(bool fast) {
-  std::string spec = fast ? "2000" : "10000,30000,100000";
+  std::string spec = fast ? "2000" : "10000,100000,1000000";
   if (const char* ns = std::getenv("AVMEM_SCALE_NS"); ns != nullptr) {
     spec = ns;
   }
@@ -62,30 +75,49 @@ std::vector<std::uint32_t> populationSizes(bool fast) {
 
 }  // namespace
 
-int main() {
-  const bool fast = [] {
+int main(int argc, char** argv) {
+  bool fast = [] {
     const char* f = std::getenv("AVMEM_FAST");
     return f != nullptr && f[0] == '1';
   }();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      fast = true;
+    } else {
+      std::cerr << "scale_sweep: unknown argument '" << argv[i]
+                << "' (the only flag is --smoke)\n";
+      return 2;
+    }
+  }
   std::uint64_t seed = 20070101;
   if (const char* s = std::getenv("AVMEM_SCALE_SEED"); s != nullptr) {
     seed = std::strtoull(s, nullptr, 10);
   }
+  const auto backend = benchfig::traceBackendFromEnv("scale_sweep");
 
   std::cout << "# scale_sweep: maintenance + anycast throughput vs N\n";
   std::cout << "# scale mode: oracle availability, kFast64 pair hash, "
-               "sharded maintenance\n";
-  std::cout << "# n build_s warmup_s warmup_sim_h events events_per_s "
-               "maint_timers mean_degree anycasts delivered batch_s\n";
+               "sharded maintenance, "
+            << (backend ? core::traceBackendName(*backend) : "markov")
+            << " availability backend\n";
+  std::cout << "# n backend model_mb build_s warmup_s warmup_sim_h events "
+               "events_per_s maint_timers mean_degree anycasts delivered "
+               "batch_s\n";
 
   for (const std::uint32_t n : populationSizes(fast)) {
     auto scenario = core::makeScaleScenario(n, seed);
     if (fast) scenario.warmup = sim::SimDuration::minutes(30);
-    std::cerr << "building " << scenario.name << "...\n";
+    if (backend) scenario.config.traceBackend = *backend;
+    std::cerr << "building " << scenario.name << " ("
+              << core::traceBackendName(scenario.config.traceBackend)
+              << " availability backend)...\n";
 
     const auto tBuild = Clock::now();
     core::AvmemSimulation system(scenario.config);
     const double buildS = secondsSince(tBuild);
+    const double modelMb =
+        static_cast<double>(system.trace().memoryFootprintBytes()) /
+        (1024.0 * 1024.0);
 
     std::cerr << "warming up " << scenario.warmup.toString()
               << " simulated...\n";
@@ -118,7 +150,9 @@ int main() {
                                               fast ? 10 : 20);
     const double batchS = secondsSince(tBatch);
 
-    std::cout << n << " " << buildS << " " << warmupS << " "
+    std::cout << n << " "
+              << core::traceBackendName(scenario.config.traceBackend) << " "
+              << modelMb << " " << buildS << " " << warmupS << " "
               << scenario.warmup.toHours() << " " << warmupEvents << " "
               << (warmupS > 0.0
                       ? static_cast<double>(warmupEvents) / warmupS

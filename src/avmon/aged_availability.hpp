@@ -19,7 +19,7 @@
 
 #include "avmon/availability_service.hpp"
 #include "sim/simulator.hpp"
-#include "trace/churn_trace.hpp"
+#include "trace/availability_model.hpp"
 
 namespace avmem::avmon {
 
@@ -33,7 +33,7 @@ class AgedAvailabilityService final : public AvailabilityService {
   /// `alpha` in (0, 1]: weight of the newest epoch. Small alpha ~ long
   /// memory (approaches raw availability); large alpha ~ recent-behaviour
   /// tracker.
-  AgedAvailabilityService(const trace::ChurnTrace& trace,
+  AgedAvailabilityService(const trace::AvailabilityModel& trace,
                           const sim::Simulator& sim, double alpha)
       : trace_(trace), sim_(sim), alpha_(alpha) {
     if (alpha <= 0.0 || alpha > 1.0) {
@@ -69,7 +69,7 @@ class AgedAvailabilityService final : public AvailabilityService {
     bool initialized = false;
   };
 
-  const trace::ChurnTrace& trace_;
+  const trace::AvailabilityModel& trace_;
   const sim::Simulator& sim_;
   double alpha_;
   std::unordered_map<NodeIndex, Cell> cells_;
@@ -83,7 +83,7 @@ class AgedAvailabilityService final : public AvailabilityService {
 /// period — the opposite trade-off from AVMON.
 class CentralizedAvailabilityService final : public AvailabilityService {
  public:
-  CentralizedAvailabilityService(const trace::ChurnTrace& trace,
+  CentralizedAvailabilityService(const trace::AvailabilityModel& trace,
                                  const sim::Simulator& sim,
                                  sim::SimDuration snapshotPeriod)
       : trace_(trace), sim_(sim), period_(snapshotPeriod) {
@@ -107,7 +107,7 @@ class CentralizedAvailabilityService final : public AvailabilityService {
   }
 
  private:
-  const trace::ChurnTrace& trace_;
+  const trace::AvailabilityModel& trace_;
   const sim::Simulator& sim_;
   sim::SimDuration period_;
 };

@@ -24,7 +24,7 @@
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-#include "trace/churn_trace.hpp"
+#include "trace/availability_model.hpp"
 
 namespace avmem::avmon {
 
@@ -45,7 +45,7 @@ class AvailabilityService {
 /// Ground truth: fraction uptime from trace start to the current instant.
 class OracleAvailabilityService final : public AvailabilityService {
  public:
-  OracleAvailabilityService(const trace::ChurnTrace& trace,
+  OracleAvailabilityService(const trace::AvailabilityModel& trace,
                             const sim::Simulator& sim) noexcept
       : trace_(trace), sim_(sim) {}
 
@@ -55,7 +55,7 @@ class OracleAvailabilityService final : public AvailabilityService {
   }
 
  private:
-  const trace::ChurnTrace& trace_;
+  const trace::AvailabilityModel& trace_;
   const sim::Simulator& sim_;
 };
 

@@ -4,7 +4,7 @@
 
 namespace avmem::avmon {
 
-AvmonSystem::AvmonSystem(const trace::ChurnTrace& trace,
+AvmonSystem::AvmonSystem(const trace::AvailabilityModel& trace,
                          const sim::Simulator& sim,
                          const std::vector<core::NodeId>& ids,
                          const AvmonConfig& config)

@@ -30,7 +30,7 @@
 #include "core/node_id.hpp"
 #include "hash/pair_hash.hpp"
 #include "sim/simulator.hpp"
-#include "trace/churn_trace.hpp"
+#include "trace/availability_model.hpp"
 
 namespace avmem::avmon {
 
@@ -49,7 +49,7 @@ class AvmonSystem {
   /// Builds the (consistent) monitor relation for all hosts in `trace`.
   /// `ids` supplies wire identities; `ids.size()` must equal
   /// `trace.hostCount()`.
-  AvmonSystem(const trace::ChurnTrace& trace, const sim::Simulator& sim,
+  AvmonSystem(const trace::AvailabilityModel& trace, const sim::Simulator& sim,
               const std::vector<core::NodeId>& ids, const AvmonConfig& config);
 
   /// Monitors assigned to `target` (consistent; verifiable by any party).
@@ -89,7 +89,7 @@ class AvmonSystem {
 
  private:
 
-  const trace::ChurnTrace& trace_;
+  const trace::AvailabilityModel& trace_;
   const sim::Simulator& sim_;
   const std::vector<core::NodeId>& ids_;
   hashing::PairHasher hasher_;

@@ -96,6 +96,12 @@ Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
   s.config.trace.epochs = 72;  // 1 day at 20-minute epochs
   s.config.trace.seed = seed ^ 0x5CA1Eull;
 
+  // Streaming Markov churn: per-host chains generated on demand, O(hosts)
+  // memory however long the trace — the backend that unlocked the 1M-node
+  // default point (a dense 1M x 72 timeline is ~360 MB; the model is tens
+  // of MB).
+  s.config.traceBackend = TraceBackend::kMarkov;
+
   // Oracle availability: monitoring-substrate accuracy is a paper-fidelity
   // concern; at scale it would only obscure the maintenance cost.
   s.config.backend = AvailabilityBackend::kOracle;
@@ -135,11 +141,14 @@ ScenarioRegistry::ScenarioRegistry() {
   add({"random-overlay",
        "consistent-random SCAMP-sized overlay (Figure-10 comparator)",
        buildRandomOverlay});
-  add({"scale-10k", "scale mode at 10k nodes: oracle + kFast64 + shards",
+  add({"scale-10k",
+       "scale mode at 10k nodes: oracle + kFast64 + shards + Markov churn",
        [](const ScenarioTuning& t) { return buildScale(10'000, t); }});
-  add({"scale-100k", "scale mode at 100k nodes: oracle + kFast64 + shards",
+  add({"scale-100k",
+       "scale mode at 100k nodes: oracle + kFast64 + shards + Markov churn",
        [](const ScenarioTuning& t) { return buildScale(100'000, t); }});
-  add({"scale-1m", "scale mode at 1M nodes: oracle + kFast64 + shards",
+  add({"scale-1m",
+       "scale mode at 1M nodes: oracle + kFast64 + shards + Markov churn",
        [](const ScenarioTuning& t) { return buildScale(1'000'000, t); }});
 }
 

@@ -7,12 +7,14 @@
 // that applies caller tuning (host count, seed, fast/smoke mode) without
 // the caller knowing which knobs the scenario cares about.
 //
-// Two families ship built in:
+// Two families ship built in (docs/SCENARIOS.md documents every entry):
 //  * paper-* — the Middleware 2007 evaluation setups (1442 hosts, 7-day
-//    synthetic Overnet trace, AVMON backend, SHA-1 pair hash);
-//  * scale-* — the million-node-direction setups (oracle backend, kFast64
-//    pair hash, compact views, sharded maintenance), used by
-//    bench/scale_sweep.
+//    synthetic Overnet trace stored densely, AVMON backend, SHA-1 pair
+//    hash);
+//  * scale-* — the million-node setups (oracle backend, kFast64 pair
+//    hash, compact views, sharded maintenance, streaming Markov churn —
+//    no materialized timeline), used by bench/scale_sweep up to its
+//    default 1M-node top point.
 #pragma once
 
 #include <cstdint>
@@ -80,7 +82,8 @@ class ScenarioRegistry {
 
 /// The scale-mode setup for an arbitrary population size (the registry's
 /// scale-10k/100k/1m entries are fixed points of this). Oracle
-/// availability, kFast64 pair hash, 1-day trace, compact high-churn views,
+/// availability, kFast64 pair hash, 1-day streaming Markov churn
+/// (O(hosts) memory — nothing materialized), compact high-churn views,
 /// auto-sharded maintenance.
 [[nodiscard]] Scenario makeScaleScenario(std::uint32_t hosts,
                                          std::uint64_t seed = 20070101);

@@ -5,19 +5,60 @@
 #include <stdexcept>
 
 #include "net/latency.hpp"
+#include "trace/bitpacked_trace.hpp"
+#include "trace/markov_churn.hpp"
 
 namespace avmem::core {
 
 using net::NodeIndex;
 
+std::optional<TraceBackend> parseTraceBackend(std::string_view name) noexcept {
+  if (name == "dense") return TraceBackend::kDense;
+  if (name == "bitpacked") return TraceBackend::kBitPacked;
+  if (name == "markov") return TraceBackend::kMarkov;
+  return std::nullopt;
+}
+
+const char* traceBackendName(TraceBackend backend) noexcept {
+  switch (backend) {
+    case TraceBackend::kDense: return "dense";
+    case TraceBackend::kBitPacked: return "bitpacked";
+    case TraceBackend::kMarkov: return "markov";
+  }
+  return "?";
+}
+
+std::unique_ptr<trace::AvailabilityModel> makeTraceModel(
+    TraceBackend backend, const trace::OvernetTraceConfig& config) {
+  switch (backend) {
+    case TraceBackend::kDense:
+      return std::make_unique<trace::ChurnTrace>(
+          trace::generateOvernetTrace(config));
+    case TraceBackend::kBitPacked:
+      return std::make_unique<trace::BitPackedTrace>(
+          trace::generateOvernetTimeline(config), config.epochDuration);
+    case TraceBackend::kMarkov:
+      return std::make_unique<trace::MarkovChurnModel>(config);
+  }
+  throw std::invalid_argument("makeTraceModel: unknown trace backend");
+}
+
 AvmemSimulation::AvmemSimulation(const SimulationConfig& config)
-    : AvmemSimulation(config, trace::generateOvernetTrace(config.trace)) {}
+    : AvmemSimulation(config,
+                      makeTraceModel(config.traceBackend, config.trace)) {}
 
 AvmemSimulation::AvmemSimulation(const SimulationConfig& config,
                                  trace::ChurnTrace trace)
-    : config_(config),
-      trace_(std::make_unique<trace::ChurnTrace>(std::move(trace))),
-      rng_(config.seed) {
+    : AvmemSimulation(config, std::make_unique<trace::ChurnTrace>(
+                                  std::move(trace))) {}
+
+AvmemSimulation::AvmemSimulation(
+    const SimulationConfig& config,
+    std::unique_ptr<trace::AvailabilityModel> model)
+    : config_(config), trace_(std::move(model)), rng_(config.seed) {
+  if (trace_ == nullptr) {
+    throw std::invalid_argument("AvmemSimulation: null availability model");
+  }
   buildSystem(config);
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "avmon/aged_availability.hpp"
@@ -28,6 +29,7 @@
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "trace/availability_model.hpp"
 #include "trace/churn_trace.hpp"
 #include "trace/overnet_generator.hpp"
 
@@ -41,6 +43,28 @@ enum class AvailabilityBackend : std::uint8_t {
   kAged,     ///< EWMA-aged availability (AVMON's "aged" mode)
   kCentral,  ///< centralized crawler with periodic snapshots
 };
+
+/// Which AvailabilityModel backend represents ground-truth churn (see
+/// src/trace/availability_model.hpp and docs/ARCHITECTURE.md for the
+/// trade-offs).
+enum class TraceBackend : std::uint8_t {
+  kDense,      ///< ChurnTrace: bytes + prefix sums (paper fidelity)
+  kBitPacked,  ///< BitPackedTrace: identical answers, ~64x less bitmap
+  kMarkov,     ///< MarkovChurnModel: generative, O(hosts) memory (scale)
+};
+
+/// Parse the name used by AVMEM_TRACE_BACKEND and bench output
+/// ("dense" | "bitpacked" | "markov"); nullopt on anything else.
+[[nodiscard]] std::optional<TraceBackend> parseTraceBackend(
+    std::string_view name) noexcept;
+
+/// Inverse of parseTraceBackend.
+[[nodiscard]] const char* traceBackendName(TraceBackend backend) noexcept;
+
+/// Materialize (or, for kMarkov, parameterize) the ground-truth churn
+/// representation — the same factory AvmemSimulation uses internally.
+[[nodiscard]] std::unique_ptr<trace::AvailabilityModel> makeTraceModel(
+    TraceBackend backend, const trace::OvernetTraceConfig& config);
 
 /// Which membership predicate spans the overlay.
 enum class PredicateChoice : std::uint8_t {
@@ -65,6 +89,11 @@ struct SimulationConfig {
   double agedAlpha = 0.05;
   /// kCentral: crawler snapshot period.
   sim::SimDuration centralSnapshotPeriod = sim::SimDuration::hours(2);
+
+  /// Ground-truth churn representation. The synthetic generator feeds the
+  /// recorded backends; kMarkov skips materialization entirely and streams
+  /// the same per-host chains on demand.
+  TraceBackend traceBackend = TraceBackend::kDense;
 
   PredicateChoice predicate = PredicateChoice::kPaperDefault;
   /// Edge probability for kRandomOverlay; 0 = SCAMP-style sizing,
@@ -144,9 +173,12 @@ struct AnycastBatchResult {
 class AvmemSimulation {
  public:
   explicit AvmemSimulation(const SimulationConfig& config);
-  /// Use a caller-supplied trace (e.g. real Overnet data via trace_io)
-  /// instead of generating one.
+  /// Use a caller-supplied dense trace (e.g. real Overnet data via
+  /// trace_io) instead of generating one.
   AvmemSimulation(const SimulationConfig& config, trace::ChurnTrace trace);
+  /// Use a caller-supplied availability model of any backend.
+  AvmemSimulation(const SimulationConfig& config,
+                  std::unique_ptr<trace::AvailabilityModel> model);
 
   AvmemSimulation(const AvmemSimulation&) = delete;
   AvmemSimulation& operator=(const AvmemSimulation&) = delete;
@@ -171,7 +203,7 @@ class AvmemSimulation {
   }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
-  [[nodiscard]] const trace::ChurnTrace& trace() const noexcept {
+  [[nodiscard]] const trace::AvailabilityModel& trace() const noexcept {
     return *trace_;
   }
   [[nodiscard]] const AvmemPredicate& predicate() const noexcept {
@@ -240,7 +272,7 @@ class AvmemSimulation {
   void buildSystem(const SimulationConfig& config);
 
   SimulationConfig config_;
-  std::unique_ptr<trace::ChurnTrace> trace_;
+  std::unique_ptr<trace::AvailabilityModel> trace_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::Network> network_;
   std::vector<NodeId> ids_;

@@ -1,0 +1,24 @@
+#include "trace/availability_model.hpp"
+
+namespace avmem::trace {
+
+std::vector<HostIndex> AvailabilityModel::onlineHostsInEpoch(
+    std::size_t e) const {
+  std::vector<HostIndex> out;
+  const auto n = static_cast<HostIndex>(hostCount());
+  for (HostIndex h = 0; h < n; ++h) {
+    if (onlineInEpoch(h, e)) out.push_back(h);
+  }
+  return out;
+}
+
+std::size_t AvailabilityModel::onlineCountInEpoch(std::size_t e) const {
+  std::size_t n = 0;
+  const auto hosts = static_cast<HostIndex>(hostCount());
+  for (HostIndex h = 0; h < hosts; ++h) {
+    if (onlineInEpoch(h, e)) ++n;
+  }
+  return n;
+}
+
+}  // namespace avmem::trace

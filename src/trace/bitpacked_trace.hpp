@@ -1,0 +1,72 @@
+// Bit-packed churn traces: 64 epochs per word, popcount availability.
+//
+// Same recorded-timeline semantics as ChurnTrace, 64x less bitmap memory:
+// each host's online flags are packed into 64-bit words, and the uint32
+// per-epoch prefix sums are replaced by one uint32 running count per
+// *word* (block summary). An availability query adds the block count
+// before the epoch's word to a popcount of that word masked up to the
+// epoch — still O(1), at ~0.19 bytes per host-epoch instead of ~5.
+//
+// Answers are bit-for-bit identical to ChurnTrace built from the same
+// timeline (asserted by tests/trace/availability_model_test.cpp); this is
+// the backend for recorded traces whose bitmap no longer fits, e.g. long
+// multi-week traces over 100k+ hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/availability_model.hpp"
+
+namespace avmem::trace {
+
+/// An immutable, bit-packed churn trace.
+class BitPackedTrace final : public AvailabilityModel {
+ public:
+  /// Build from the same per-host byte matrix ChurnTrace accepts;
+  /// `timeline[h][e]` non-zero means host h is online in epoch e.
+  BitPackedTrace(const std::vector<std::vector<std::uint8_t>>& timeline,
+                 sim::SimDuration epochDuration);
+
+  /// Repack any other availability model (e.g. a loaded dense trace).
+  explicit BitPackedTrace(const AvailabilityModel& model);
+
+  [[nodiscard]] std::size_t hostCount() const noexcept override {
+    return hosts_;
+  }
+  [[nodiscard]] std::size_t epochCount() const noexcept override {
+    return epochs_;
+  }
+  [[nodiscard]] sim::SimDuration epochDuration() const noexcept override {
+    return epochDuration_;
+  }
+
+  [[nodiscard]] bool onlineInEpoch(HostIndex h, std::size_t e) const override;
+  [[nodiscard]] std::uint64_t onlineEpochsThrough(
+      HostIndex h, std::size_t e) const override;
+  [[nodiscard]] std::size_t onlineCountInEpoch(std::size_t e) const override;
+
+  [[nodiscard]] std::size_t memoryFootprintBytes() const noexcept override;
+
+  /// Epochs per storage word / summary block.
+  static constexpr std::size_t kEpochsPerWord = 64;
+
+ private:
+  void checkRange(HostIndex h, std::size_t e) const;
+  void packRow(HostIndex h, const std::vector<std::uint8_t>& row);
+
+  std::size_t hosts_ = 0;
+  std::size_t epochs_ = 0;
+  std::size_t wordsPerHost_ = 0;
+  /// Packed flags, host-major: word w of host h is bits_[h * wordsPerHost_
+  /// + w]; epoch e lives in word e / 64, bit e % 64.
+  std::vector<std::uint64_t> bits_;
+  /// Exclusive block summaries: online epochs of host h in words [0, w),
+  /// at blockCount_[h * wordsPerHost_ + w].
+  std::vector<std::uint32_t> blockCount_;
+  sim::SimDuration epochDuration_ = sim::SimDuration::zero();
+};
+
+}  // namespace avmem::trace

@@ -44,16 +44,15 @@ std::size_t ChurnTrace::onlineCountInEpoch(std::size_t e) const {
   return n;
 }
 
-double ChurnTrace::windowedAvailability(HostIndex h, std::size_t e,
-                                        std::size_t w) const {
-  if (w == 0) {
-    throw std::invalid_argument("windowedAvailability: empty window");
+std::size_t ChurnTrace::memoryFootprintBytes() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& row : online_) {
+    bytes += sizeof(row) + row.capacity() * sizeof(std::uint8_t);
   }
-  const auto& prefix = uptimePrefix_.at(h);
-  const std::size_t last = e >= epochs_ ? epochs_ - 1 : e;
-  const std::size_t first = (last + 1 >= w) ? (last + 1 - w) : 0;
-  return static_cast<double>(prefix[last + 1] - prefix[first]) /
-         static_cast<double>(last + 1 - first);
+  for (const auto& prefix : uptimePrefix_) {
+    bytes += sizeof(prefix) + prefix.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
 }
 
 }  // namespace avmem::trace

@@ -1,12 +1,17 @@
-// Churn traces: per-host online/offline timelines sampled at fixed epochs.
+// Dense churn traces: the recorded-timeline backend of AvailabilityModel.
 //
 // The paper's evaluation injects availability traces from the Overnet p2p
 // system, "collected over a 7 day period, at 20 minute intervals, for a
-// fixed population of 1442 hosts" (Bhagwan et al. [3]). This type stores
+// fixed population of 1442 hosts" (Bhagwan et al. [3]). ChurnTrace stores
 // such a trace — real (loaded from disk) or synthetic (see
-// overnet_generator.hpp) — and answers the two questions every layer above
-// asks: who is online at time t, and what is a host's long-term
-// availability (fraction uptime) up to time t.
+// overnet_generator.hpp) — as one byte per host-epoch plus uint32
+// availability prefix sums: every query is O(1), at ~5 bytes per
+// host-epoch.
+//
+// This is one of three interchangeable availability backends (see
+// availability_model.hpp): keep ChurnTrace for paper-fidelity figures and
+// on-disk traces; prefer BitPackedTrace when the bitmap dominates memory,
+// and MarkovChurnModel when even a packed timeline is too large.
 #pragma once
 
 #include <cstddef>
@@ -15,85 +20,45 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "trace/availability_model.hpp"
 
 namespace avmem::trace {
 
-/// Dense index of a host in a trace (0 .. hostCount-1).
-using HostIndex = std::uint32_t;
-
-/// An immutable churn trace.
-class ChurnTrace {
+/// An immutable, dense churn trace.
+class ChurnTrace final : public AvailabilityModel {
  public:
   /// Build from per-host epoch bitmaps; `timeline[h][e]` is host h's online
-  /// flag in epoch e. All hosts must have the same number of epochs.
+  /// flag in epoch e. All hosts must have the same number of epochs. (The
+  /// byte-vector timeline is this backend's input format, not the only
+  /// representation — BitPackedTrace accepts the same matrix.)
   ChurnTrace(std::vector<std::vector<std::uint8_t>> timeline,
              sim::SimDuration epochDuration);
 
-  [[nodiscard]] std::size_t hostCount() const noexcept {
+  [[nodiscard]] std::size_t hostCount() const noexcept override {
     return online_.size();
   }
-  [[nodiscard]] std::size_t epochCount() const noexcept { return epochs_; }
-  [[nodiscard]] sim::SimDuration epochDuration() const noexcept {
+  [[nodiscard]] std::size_t epochCount() const noexcept override {
+    return epochs_;
+  }
+  [[nodiscard]] sim::SimDuration epochDuration() const noexcept override {
     return epochDuration_;
   }
-  /// Total trace duration (epochCount * epochDuration).
-  [[nodiscard]] sim::SimDuration duration() const noexcept {
-    return epochDuration_ * static_cast<std::int64_t>(epochs_);
-  }
 
-  /// Epoch index containing time `t`; times past the end clamp to the last
-  /// epoch (the trace's final state persists).
-  [[nodiscard]] std::size_t epochAt(sim::SimTime t) const noexcept {
-    if (t <= sim::SimTime::zero() || epochs_ == 0) return 0;
-    const auto e = static_cast<std::size_t>(t.toMicros() /
-                                            epochDuration_.toMicros());
-    return e >= epochs_ ? epochs_ - 1 : e;
-  }
-
-  /// Start time of epoch `e`.
-  [[nodiscard]] sim::SimTime epochStart(std::size_t e) const noexcept {
-    return epochDuration_ * static_cast<std::int64_t>(e);
-  }
-
-  [[nodiscard]] bool onlineInEpoch(HostIndex h, std::size_t e) const {
+  [[nodiscard]] bool onlineInEpoch(HostIndex h, std::size_t e) const override {
     return online_.at(h).at(e) != 0;
   }
 
-  [[nodiscard]] bool onlineAt(HostIndex h, sim::SimTime t) const {
-    return onlineInEpoch(h, epochAt(t));
+  /// Online epochs of `h` in [0, e]: one prefix-sum lookup.
+  [[nodiscard]] std::uint64_t onlineEpochsThrough(
+      HostIndex h, std::size_t e) const override {
+    return uptimePrefix_.at(h).at(e + 1);
   }
 
-  /// Hosts online during epoch `e`.
-  [[nodiscard]] std::vector<HostIndex> onlineHostsInEpoch(std::size_t e) const;
+  [[nodiscard]] std::vector<HostIndex> onlineHostsInEpoch(
+      std::size_t e) const override;
+  [[nodiscard]] std::size_t onlineCountInEpoch(std::size_t e) const override;
 
-  /// Number of hosts online during epoch `e`.
-  [[nodiscard]] std::size_t onlineCountInEpoch(std::size_t e) const;
-
-  /// Fraction uptime of host `h` over epochs [0, e] inclusive.
-  ///
-  /// This is the "long-term availability" an availability monitoring
-  /// service reports (paper Section 3.1); prefix sums make it O(1).
-  [[nodiscard]] double availabilityUpToEpoch(HostIndex h,
-                                             std::size_t e) const {
-    const auto& prefix = uptimePrefix_.at(h);
-    const std::size_t last = e >= epochs_ ? epochs_ - 1 : e;
-    return static_cast<double>(prefix[last + 1]) /
-           static_cast<double>(last + 1);
-  }
-
-  /// Fraction uptime of host `h` up to simulated time `t`.
-  [[nodiscard]] double availabilityAt(HostIndex h, sim::SimTime t) const {
-    return availabilityUpToEpoch(h, epochAt(t));
-  }
-
-  /// Fraction uptime over the whole trace.
-  [[nodiscard]] double fullAvailability(HostIndex h) const {
-    return availabilityUpToEpoch(h, epochs_ - 1);
-  }
-
-  /// Fraction uptime over the trailing window of `w` epochs ending at `e`.
-  [[nodiscard]] double windowedAvailability(HostIndex h, std::size_t e,
-                                            std::size_t w) const;
+  [[nodiscard]] std::size_t memoryFootprintBytes() const noexcept override;
 
  private:
   std::vector<std::vector<std::uint8_t>> online_;      // [host][epoch] 0/1

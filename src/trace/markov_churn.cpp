@@ -1,0 +1,178 @@
+#include "trace/markov_churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace avmem::trace {
+
+MarkovRates markovRatesFor(double pUp, double meanOn) noexcept {
+  constexpr double kEps = 1e-9;
+  const double a = std::clamp(pUp, kEps, 1.0 - kEps);
+  double p = 1.0 / std::max(1.0, meanOn);
+  double q = p * a / (1.0 - a);
+  if (q > 1.0) {
+    q = 1.0;
+    p = q * (1.0 - a) / a;
+  }
+  return {p, q};
+}
+
+MarkovChurnModel::MarkovChurnModel(const OvernetTraceConfig& config)
+    : horizon_(config.epochs), epochDuration_(config.epochDuration) {
+  if (config.hosts == 0 || config.epochs == 0) {
+    throw std::invalid_argument("MarkovChurnModel: empty model");
+  }
+  if (config.epochDuration <= sim::SimDuration::zero()) {
+    throw std::invalid_argument(
+        "MarkovChurnModel: non-positive epoch duration");
+  }
+  sim::Rng root(config.seed);
+  // Same fork label (and draw order) as generateOvernetTrace: host h gets
+  // the same intrinsic availability here as in the materialized trace.
+  sim::Rng mixRng = root.fork("intrinsic-availability");
+  std::vector<double> pUp;
+  pUp.reserve(config.hosts);
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    pUp.push_back(sampleIntrinsicAvailability(config, mixRng));
+  }
+  seed_ = root.fork("markov-cells").next();
+  initChains(std::move(pUp), config.meanSessionEpochs);
+}
+
+MarkovChurnModel::MarkovChurnModel(std::vector<double> pUp,
+                                   const MarkovChurnConfig& config)
+    : horizon_(config.horizonEpochs), epochDuration_(config.epochDuration) {
+  if (pUp.empty() || config.horizonEpochs == 0) {
+    throw std::invalid_argument("MarkovChurnModel: empty model");
+  }
+  if (config.epochDuration <= sim::SimDuration::zero()) {
+    throw std::invalid_argument(
+        "MarkovChurnModel: non-positive epoch duration");
+  }
+  seed_ = sim::Rng(config.seed).fork("markov-cells").next();
+  initChains(std::move(pUp), config.meanSessionEpochs);
+}
+
+void MarkovChurnModel::initChains(std::vector<double> pUp,
+                                  double meanSessionEpochs) {
+  if (meanSessionEpochs <= 0.0) {
+    throw std::invalid_argument("MarkovChurnModel: non-positive session");
+  }
+  chains_.resize(pUp.size());
+  for (std::size_t h = 0; h < pUp.size(); ++h) {
+    const double a = std::clamp(pUp[h], 0.0, 1.0);
+    const MarkovRates rates = markovRatesFor(a, meanSessionEpochs);
+    chains_[h].pUp = a;
+    chains_[h].pOff = rates.pOff;
+    chains_[h].qOn = rates.qOn;
+  }
+}
+
+void MarkovChurnModel::checkRange(HostIndex h, std::size_t e) const {
+  if (h >= chains_.size()) {
+    throw std::out_of_range("MarkovChurnModel: host out of range");
+  }
+  if (e >= horizon_) {
+    throw std::out_of_range("MarkovChurnModel: epoch out of range");
+  }
+}
+
+double MarkovChurnModel::drawUniform(std::uint64_t h, std::uint64_t e) const {
+  // Counter-based: one uniform per (host, epoch) cell, no sequential
+  // generator state, so any cell is addressable in O(1).
+  std::uint64_t s = seed_ ^ ((h + 1) * 0x9E3779B97F4A7C15ull) ^
+                    ((e + 1) * 0xC2B2AE3D27D4EB4Full);
+  (void)sim::splitMix64(s);
+  return static_cast<double>(sim::splitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+bool MarkovChurnModel::nextState(const HostChain& c, std::uint64_t h,
+                                 std::size_t k, bool prevOn) const {
+  const double u = drawUniform(h, k);
+  if (k % kBlockEpochs == 0) return u < c.pUp;  // stationary re-seed
+  return prevOn ? u >= c.pOff : u < c.qOn;
+}
+
+bool MarkovChurnModel::stateAt(const HostChain& c, std::uint64_t h,
+                               std::size_t e) const {
+  // Replay from the enclosing block start; nextState ignores prevOn
+  // there (stationary re-seed), so the seed value of `on` is irrelevant.
+  const std::size_t start = e - (e % kBlockEpochs);
+  bool on = false;
+  for (std::size_t k = start; k <= e; ++k) {
+    on = nextState(c, h, k, on);
+  }
+  return on;
+}
+
+void MarkovChurnModel::advanceTo(const HostChain& c, std::uint64_t h,
+                                 std::size_t e) const {
+  bool on;
+  std::uint32_t up;
+  std::size_t k;
+  if (c.cachedEpoch == kNoEpoch) {
+    on = nextState(c, h, 0, false);  // epoch 0 is a block start
+    up = on ? 1 : 0;
+    k = 0;
+  } else {
+    on = c.on != 0;
+    up = c.upThrough;
+    k = c.cachedEpoch;
+  }
+  while (k < e) {
+    ++k;
+    on = nextState(c, h, k, on);
+    up += on ? 1 : 0;
+  }
+  c.on = on ? 1 : 0;
+  c.upThrough = up;
+  c.cachedEpoch = static_cast<std::uint32_t>(k);
+}
+
+bool MarkovChurnModel::onlineInEpoch(HostIndex h, std::size_t e) const {
+  checkRange(h, e);
+  const HostChain& c = chains_[h];
+  if (c.cachedEpoch != kNoEpoch && e < c.cachedEpoch) {
+    return stateAt(c, h, e);  // behind the cursor: bounded block replay
+  }
+  advanceTo(c, h, e);
+  return c.on != 0;
+}
+
+std::uint64_t MarkovChurnModel::onlineEpochsThrough(HostIndex h,
+                                                    std::size_t e) const {
+  checkRange(h, e);
+  const HostChain& c = chains_[h];
+  if (c.cachedEpoch == kNoEpoch || e >= c.cachedEpoch) {
+    advanceTo(c, h, e);
+    return c.upThrough;
+  }
+  // Behind the cursor (rare: tests, retro windows): cold replay from 0
+  // without disturbing the cursor. O(e), bounded by the horizon.
+  std::uint64_t up = 0;
+  bool on = false;
+  for (std::size_t k = 0; k <= e; ++k) {
+    on = nextState(c, h, k, on);
+    up += on ? 1 : 0;
+  }
+  return up;
+}
+
+double MarkovChurnModel::fullAvailability(HostIndex h) const {
+  if (h >= chains_.size()) {
+    throw std::out_of_range("MarkovChurnModel: host out of range");
+  }
+  return chains_[h].pUp;
+}
+
+double MarkovChurnModel::pUp(HostIndex h) const {
+  return fullAvailability(h);
+}
+
+std::size_t MarkovChurnModel::memoryFootprintBytes() const noexcept {
+  return sizeof(*this) + chains_.capacity() * sizeof(HostChain);
+}
+
+}  // namespace avmem::trace

@@ -1,0 +1,137 @@
+// Streaming Markov churn: availability generated on the fly, O(hosts)
+// memory independent of trace duration.
+//
+// The dense and bit-packed backends materialize a timeline; at a million
+// hosts over the paper's 7-day/20-minute trace even the packed bitmap is
+// ~90 MB and the dense one ~2.5 GB. This backend stores *no timeline at
+// all*: each host is a two-state (on/off) Markov chain over epochs — the
+// same chain the synthetic Overnet generator runs (overnet_generator.cpp)
+// — whose parameters are just (p_up, mean-session-length). State is
+// computed on demand from counter-based randomness, so the whole model is
+// one small record per host (~40 bytes) regardless of how many epochs the
+// experiment covers.
+//
+// Determinism and access order: host h's state in epoch e is a pure
+// function of (seed, h, e). The chain re-seeds from its stationary
+// distribution every kBlockEpochs epochs, so a random-access query replays
+// at most one block; queries advancing with simulated time (the common
+// case) are O(1) amortized via a per-host cursor. Answers never depend on
+// query order (asserted by tests/trace/markov_churn_test.cpp).
+//
+// Model fidelity: P(online in epoch e) = p_up exactly, for every e — the
+// block re-seed preserves the stationary distribution, and long-term
+// availability converges to p_up. Session lengths are geometric with the
+// configured mean but truncate at block boundaries, and the generator's
+// diurnal modulation is omitted; use a recorded backend when session
+// microstructure matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/availability_model.hpp"
+#include "trace/overnet_generator.hpp"
+
+namespace avmem::trace {
+
+/// Transition probabilities of a two-state chain with stationary
+/// on-fraction `pUp` and mean on-run `meanOn` epochs (see
+/// markovRatesFor()).
+struct MarkovRates {
+  double pOff;  ///< P(on -> off)
+  double qOn;   ///< P(off -> on)
+};
+
+/// Rates for stationary on-fraction `pUp` and mean session `meanOn`:
+///   pOff = 1 / meanOn,  qOn = pOff * pUp / (1 - pUp).
+/// For very high `pUp`, qOn would exceed 1; qOn is then fixed at 1 and
+/// pOff re-solved, preserving the stationary distribution at the cost of
+/// shorter sessions (a nearly-always-on host rejoins immediately anyway).
+/// Shared with the synthetic Overnet generator.
+[[nodiscard]] MarkovRates markovRatesFor(double pUp, double meanOn) noexcept;
+
+/// Parameters for an explicitly-parameterized streaming model (the
+/// Overnet-mixture constructor below reads these off OvernetTraceConfig
+/// instead).
+struct MarkovChurnConfig {
+  std::uint32_t horizonEpochs = 7 * 24 * 3;  ///< reported epochCount()
+  sim::SimDuration epochDuration = sim::SimDuration::minutes(20);
+  std::uint64_t seed = 42;
+  double meanSessionEpochs = 3.0;
+};
+
+/// The generative availability backend.
+class MarkovChurnModel final : public AvailabilityModel {
+ public:
+  /// Draw per-host p_up from the same intrinsic-availability mixture (and
+  /// the same RNG fork) as generateOvernetTrace(config): the availability
+  /// marginal matches the synthetic trace for identical config.
+  explicit MarkovChurnModel(const OvernetTraceConfig& config);
+
+  /// Explicit per-host long-term availabilities (tests, custom mixes).
+  MarkovChurnModel(std::vector<double> pUp, const MarkovChurnConfig& config);
+
+  [[nodiscard]] std::size_t hostCount() const noexcept override {
+    return chains_.size();
+  }
+  [[nodiscard]] std::size_t epochCount() const noexcept override {
+    return horizon_;
+  }
+  [[nodiscard]] sim::SimDuration epochDuration() const noexcept override {
+    return epochDuration_;
+  }
+
+  [[nodiscard]] bool onlineInEpoch(HostIndex h, std::size_t e) const override;
+  [[nodiscard]] std::uint64_t onlineEpochsThrough(
+      HostIndex h, std::size_t e) const override;
+
+  /// The exact stationary availability p_up (what the empirical fraction
+  /// converges to), not a sampled estimate.
+  [[nodiscard]] double fullAvailability(HostIndex h) const override;
+
+  [[nodiscard]] std::size_t memoryFootprintBytes() const noexcept override;
+
+  /// Intrinsic availability parameter of host `h`.
+  [[nodiscard]] double pUp(HostIndex h) const;
+
+  /// Chain re-seed interval: bounds the replay cost of a random-access
+  /// query and the maximum session length.
+  static constexpr std::size_t kBlockEpochs = 64;
+
+ private:
+  /// Per-host chain parameters plus the forward cursor. The cursor is a
+  /// cache only — every answer is a pure function of (seed, host, epoch) —
+  /// and makes time-monotone queries O(1) amortized. Not thread-safe; the
+  /// simulator is single-threaded by design.
+  struct HostChain {
+    double pUp = 0.0;
+    double pOff = 0.0;
+    double qOn = 0.0;
+    mutable std::uint32_t cachedEpoch = kNoEpoch;  ///< last epoch walked to
+    mutable std::uint32_t upThrough = 0;  ///< online epochs in [0, cached]
+    mutable std::uint8_t on = 0;          ///< state at cachedEpoch
+  };
+  static constexpr std::uint32_t kNoEpoch = ~std::uint32_t{0};
+
+  void initChains(std::vector<double> pUp, double meanSessionEpochs);
+  void checkRange(HostIndex h, std::size_t e) const;
+  [[nodiscard]] double drawUniform(std::uint64_t h, std::uint64_t e) const;
+  /// State in epoch `k` given the state in `k - 1` (stationary re-draw at
+  /// block starts).
+  [[nodiscard]] bool nextState(const HostChain& c, std::uint64_t h,
+                               std::size_t k, bool prevOn) const;
+  /// Stateless state computation: replay from the enclosing block start.
+  [[nodiscard]] bool stateAt(const HostChain& c, std::uint64_t h,
+                             std::size_t e) const;
+  /// Walk the cursor forward to epoch `e` (initializing it at 0 first).
+  void advanceTo(const HostChain& c, std::uint64_t h, std::size_t e) const;
+
+  std::vector<HostChain> chains_;
+  std::size_t horizon_ = 0;
+  sim::SimDuration epochDuration_ = sim::SimDuration::zero();
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace avmem::trace

@@ -5,37 +5,12 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "trace/markov_churn.hpp"
+
 namespace avmem::trace {
 
-namespace {
-
-/// Two-state (on/off) Markov chain whose stationary on-fraction is `a` and
-/// whose mean on-run length is `meanOn` epochs:
-///
-///   p = P(on -> off) = 1 / meanOn
-///   q = P(off -> on) = p * a / (1 - a)
-///
-/// For very high `a`, q would exceed 1; we then fix q = 1 and solve for p
-/// instead, preserving the stationary distribution at the cost of shorter
-/// sessions (a nearly-always-on host rejoins immediately anyway).
-struct MarkovRates {
-  double pOff;  // on -> off
-  double qOn;   // off -> on
-};
-
-MarkovRates ratesFor(double a, double meanOn) {
-  constexpr double kEps = 1e-9;
-  a = std::clamp(a, kEps, 1.0 - kEps);
-  double p = 1.0 / std::max(1.0, meanOn);
-  double q = p * a / (1.0 - a);
-  if (q > 1.0) {
-    q = 1.0;
-    p = q * (1.0 - a) / a;
-  }
-  return {p, q};
-}
-
-}  // namespace
+// The on/off chain math (stationary on-fraction a, mean on-run meanOn) is
+// shared with the streaming backend: markovRatesFor in markov_churn.hpp.
 
 double sampleIntrinsicAvailability(const OvernetTraceConfig& config,
                                    sim::Rng& rng) {
@@ -60,6 +35,11 @@ double sampleIntrinsicAvailability(const OvernetTraceConfig& config,
 }
 
 ChurnTrace generateOvernetTrace(const OvernetTraceConfig& config) {
+  return ChurnTrace(generateOvernetTimeline(config), config.epochDuration);
+}
+
+std::vector<std::vector<std::uint8_t>> generateOvernetTimeline(
+    const OvernetTraceConfig& config) {
   if (config.hosts == 0 || config.epochs == 0) {
     throw std::invalid_argument("OvernetTraceConfig: empty trace");
   }
@@ -73,7 +53,7 @@ ChurnTrace generateOvernetTrace(const OvernetTraceConfig& config) {
   std::vector<std::vector<std::uint8_t>> timeline(config.hosts);
   for (std::uint32_t h = 0; h < config.hosts; ++h) {
     const double a = sampleIntrinsicAvailability(config, mixRng);
-    const MarkovRates rates = ratesFor(a, config.meanSessionEpochs);
+    const MarkovRates rates = markovRatesFor(a, config.meanSessionEpochs);
     sim::Rng rng = root.fork("host-churn", h);
 
     auto& row = timeline[h];
@@ -97,7 +77,7 @@ ChurnTrace generateOvernetTrace(const OvernetTraceConfig& config) {
     }
   }
 
-  return ChurnTrace(std::move(timeline), config.epochDuration);
+  return timeline;
 }
 
 }  // namespace avmem::trace

@@ -1,10 +1,11 @@
 #include "trace/trace_stats.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace avmem::trace {
 
-TraceStats characterizeTrace(const ChurnTrace& trace) {
+TraceStats characterizeTrace(const AvailabilityModel& trace) {
   TraceStats out;
 
   const std::size_t hosts = trace.hostCount();
@@ -38,8 +39,13 @@ TraceStats characterizeTrace(const ChurnTrace& trace) {
   out.fractionBelow03 =
       static_cast<double>(below03) / static_cast<double>(hosts);
 
+  // One population scan per epoch, shared by the summary and the diurnal
+  // profile (generative backends pay a replay per behind-the-cursor count,
+  // so scanning twice would double the dominant cost).
+  std::vector<std::size_t> onlineCounts(epochs);
   for (std::size_t e = 0; e < epochs; ++e) {
-    out.onlinePerEpoch.add(static_cast<double>(trace.onlineCountInEpoch(e)));
+    onlineCounts[e] = trace.onlineCountInEpoch(e);
+    out.onlinePerEpoch.add(static_cast<double>(onlineCounts[e]));
   }
 
   // Diurnal profile: average online fraction per epoch-of-day slot.
@@ -51,7 +57,7 @@ TraceStats characterizeTrace(const ChurnTrace& trace) {
     std::vector<std::size_t> count(epochsPerDay, 0);
     for (std::size_t e = 0; e < epochs; ++e) {
       const std::size_t slot = e % epochsPerDay;
-      sum[slot] += static_cast<double>(trace.onlineCountInEpoch(e)) /
+      sum[slot] += static_cast<double>(onlineCounts[e]) /
                    static_cast<double>(hosts);
       ++count[slot];
     }

@@ -14,7 +14,7 @@
 #include "stats/cdf.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
-#include "trace/churn_trace.hpp"
+#include "trace/availability_model.hpp"
 
 namespace avmem::trace {
 
@@ -49,6 +49,6 @@ struct TraceStats {
 };
 
 /// Compute the full characterization of `trace`.
-[[nodiscard]] TraceStats characterizeTrace(const ChurnTrace& trace);
+[[nodiscard]] TraceStats characterizeTrace(const AvailabilityModel& trace);
 
 }  // namespace avmem::trace

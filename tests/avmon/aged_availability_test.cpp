@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/churn_trace.hpp"
+
 namespace avmem::avmon {
 namespace {
 

@@ -55,10 +55,30 @@ TEST(ScenarioTest, ScaleScenariosUseTheScaleMode) {
   EXPECT_EQ(s.config.protocol.hashAlgorithm,
             hashing::PairHashAlgorithm::kFast64);
   EXPECT_GT(s.config.shuffle.viewSize, 0u);  // compact fixed views
+  // The 1M-direction choice: streaming churn, no materialized timeline.
+  EXPECT_EQ(s.config.traceBackend, TraceBackend::kMarkov);
 
   const auto custom = makeScaleScenario(12'345, 9);
   EXPECT_EQ(custom.config.trace.hosts, 12'345u);
   EXPECT_EQ(custom.config.seed, 9u);
+}
+
+TEST(ScenarioTest, PaperScenariosKeepTheDenseTrace) {
+  // Paper-fidelity figures must keep reading the recorded representation.
+  EXPECT_EQ(makeScenario("paper-default").config.traceBackend,
+            TraceBackend::kDense);
+}
+
+TEST(ScenarioTest, ScaleScenarioRunsOnEveryTraceBackend) {
+  for (const auto backend : {TraceBackend::kDense, TraceBackend::kBitPacked,
+                             TraceBackend::kMarkov}) {
+    auto s = makeScaleScenario(120, 7);
+    s.config.traceBackend = backend;
+    AvmemSimulation world(s.config);
+    world.warmup(sim::SimDuration::hours(1));
+    EXPECT_GT(world.onlineNodes().size(), 0u)
+        << static_cast<int>(backend);
+  }
 }
 
 TEST(ScenarioTest, RegisteredScenarioBuildsARunnableWorld) {

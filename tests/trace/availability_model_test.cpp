@@ -1,0 +1,137 @@
+// Backend equivalence: the dense and bit-packed representations of the
+// same timeline must agree bit-for-bit on every query the interface
+// offers — this is what lets experiments swap backends without changing
+// results.
+#include "trace/availability_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "trace/bitpacked_trace.hpp"
+#include "trace/churn_trace.hpp"
+#include "trace/overnet_generator.hpp"
+
+namespace avmem::trace {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> randomTimeline(std::size_t hosts,
+                                                      std::size_t epochs,
+                                                      std::uint64_t seed,
+                                                      double pOn) {
+  sim::Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> t(hosts);
+  for (auto& row : t) {
+    row.resize(epochs);
+    for (auto& v : row) v = rng.chance(pOn) ? 1 : 0;
+  }
+  return t;
+}
+
+void expectIdenticalAnswers(const AvailabilityModel& a,
+                            const AvailabilityModel& b) {
+  ASSERT_EQ(a.hostCount(), b.hostCount());
+  ASSERT_EQ(a.epochCount(), b.epochCount());
+  ASSERT_EQ(a.epochDuration(), b.epochDuration());
+  const auto hosts = static_cast<HostIndex>(a.hostCount());
+  const std::size_t epochs = a.epochCount();
+  for (HostIndex h = 0; h < hosts; ++h) {
+    EXPECT_DOUBLE_EQ(a.fullAvailability(h), b.fullAvailability(h)) << h;
+    for (std::size_t e = 0; e < epochs; ++e) {
+      ASSERT_EQ(a.onlineInEpoch(h, e), b.onlineInEpoch(h, e))
+          << "host " << h << " epoch " << e;
+      ASSERT_EQ(a.onlineEpochsThrough(h, e), b.onlineEpochsThrough(h, e))
+          << "host " << h << " epoch " << e;
+      ASSERT_DOUBLE_EQ(a.availabilityUpToEpoch(h, e),
+                       b.availabilityUpToEpoch(h, e))
+          << "host " << h << " epoch " << e;
+      for (const std::size_t w : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{65},
+                                  epochs + 3}) {
+        ASSERT_DOUBLE_EQ(a.windowedAvailability(h, e, w),
+                         b.windowedAvailability(h, e, w))
+            << "host " << h << " epoch " << e << " window " << w;
+      }
+    }
+    // onlineAt exercises the shared epochAt clamping.
+    const auto dur = a.epochDuration();
+    ASSERT_EQ(a.onlineAt(h, sim::SimTime::zero()),
+              b.onlineAt(h, sim::SimTime::zero()));
+    ASSERT_EQ(a.onlineAt(h, dur * 3 + sim::SimDuration::micros(1)),
+              b.onlineAt(h, dur * 3 + sim::SimDuration::micros(1)));
+    ASSERT_EQ(a.onlineAt(h, dur * static_cast<std::int64_t>(epochs + 10)),
+              b.onlineAt(h, dur * static_cast<std::int64_t>(epochs + 10)));
+  }
+  for (std::size_t e = 0; e < epochs; ++e) {
+    ASSERT_EQ(a.onlineCountInEpoch(e), b.onlineCountInEpoch(e)) << e;
+    ASSERT_EQ(a.onlineHostsInEpoch(e), b.onlineHostsInEpoch(e)) << e;
+  }
+}
+
+TEST(BackendEquivalenceTest, RandomTimelinesAgreeBitForBit) {
+  const auto dur = sim::SimDuration::minutes(20);
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (const double pOn : {0.05, 0.5, 0.95}) {
+      // Epoch counts straddling the 64-bit word boundary.
+      for (const std::size_t epochs :
+           {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+            std::size_t{200}}) {
+        const auto timeline = randomTimeline(7, epochs, seed, pOn);
+        const ChurnTrace dense(timeline, dur);
+        const BitPackedTrace packed(timeline, dur);
+        expectIdenticalAnswers(dense, packed);
+      }
+    }
+  }
+}
+
+TEST(BackendEquivalenceTest, SyntheticOvernetTimelineAgrees) {
+  OvernetTraceConfig cfg;
+  cfg.hosts = 60;
+  cfg.epochs = 7 * 24 * 3;
+  cfg.seed = 4242;
+  const ChurnTrace dense = generateOvernetTrace(cfg);
+  const BitPackedTrace packed(generateOvernetTimeline(cfg),
+                              cfg.epochDuration);
+  expectIdenticalAnswers(dense, packed);
+}
+
+TEST(BackendEquivalenceTest, RepackFromModelMatches) {
+  const auto timeline = randomTimeline(5, 130, 99, 0.4);
+  const auto dur = sim::SimDuration::minutes(20);
+  const ChurnTrace dense(timeline, dur);
+  const BitPackedTrace repacked{static_cast<const AvailabilityModel&>(dense)};
+  expectIdenticalAnswers(dense, repacked);
+}
+
+TEST(BackendEquivalenceTest, BitPackedRejectsMalformedInput) {
+  const auto dur = sim::SimDuration::minutes(1);
+  EXPECT_THROW(BitPackedTrace({}, dur), std::invalid_argument);
+  EXPECT_THROW(BitPackedTrace({{}}, dur), std::invalid_argument);
+  EXPECT_THROW(BitPackedTrace({{1, 0}, {1}}, dur), std::invalid_argument);
+  EXPECT_THROW(BitPackedTrace({{1}}, sim::SimDuration::zero()),
+               std::invalid_argument);
+}
+
+TEST(BackendEquivalenceTest, BitPackedRangeChecksMatchDense) {
+  const auto timeline = randomTimeline(3, 10, 5, 0.5);
+  const auto dur = sim::SimDuration::minutes(20);
+  const BitPackedTrace packed(timeline, dur);
+  EXPECT_THROW((void)packed.onlineInEpoch(3, 0), std::out_of_range);
+  EXPECT_THROW((void)packed.onlineInEpoch(0, 10), std::out_of_range);
+  EXPECT_THROW((void)packed.availabilityUpToEpoch(7, 0), std::out_of_range);
+}
+
+TEST(BackendEquivalenceTest, PackedBitmapIsSmaller) {
+  // 1000 epochs: dense stores ~5 B/host-epoch, packed ~0.19 B/host-epoch.
+  const auto timeline = randomTimeline(20, 1000, 7, 0.3);
+  const auto dur = sim::SimDuration::minutes(20);
+  const ChurnTrace dense(timeline, dur);
+  const BitPackedTrace packed(timeline, dur);
+  EXPECT_LT(packed.memoryFootprintBytes() * 10,
+            dense.memoryFootprintBytes());
+}
+
+}  // namespace
+}  // namespace avmem::trace

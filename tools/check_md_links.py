@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown files.
+
+Checks every inline [text](target) link in *.md (excluding build trees):
+external URLs and mailto are skipped, fragments are stripped, and the
+remaining path must exist relative to the file that references it —
+exactly how Markdown renderers resolve relative links (no repo-root
+fallback). Exit 0 = all links resolve.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", ".git", ".github"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check(root: Path) -> int:
+    broken = []
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: their brackets are code, not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            base = root if path.startswith("/") else md.parent
+            if not (base / path.lstrip("/")).exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {sum(1 for _ in md_files(root))} markdown files, "
+          f"{len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root))
