@@ -3,20 +3,26 @@
 //
 // For each population size the sweep builds the scale-mode scenario
 // (oracle availability, kFast64 pair hash, compact fast-churning views,
-// sharded maintenance, streaming Markov churn — see core/scenario.hpp),
-// warms it up, then runs a MID-band anycast batch, reporting wall-clock
-// per phase plus the three numbers the scale work is about:
+// sharded maintenance, streaming Markov churn, parallel plan-phase
+// dispatch — see core/scenario.hpp), warms it up, then runs a MID-band
+// anycast batch, reporting wall-clock per phase plus the numbers the
+// scale work is about:
 //
 //  * maintenance timers in the event queue — O(shards), flat in N;
 //  * event and predicate-evaluation throughput — the hash is off the
-//    critical path with kFast64;
+//    critical path with kFast64, and the plan phase fans out across
+//    every core (threads column; identical results at any count);
 //  * availability-model resident memory — O(hosts) with the Markov
 //    backend, which is what makes the 1M default point fit (a dense
 //    1M-host timeline would be hundreds of MB before the system even
 //    starts).
 //
 // Usage:
-//   scale_sweep [--smoke]    --smoke = AVMEM_FAST=1 footprint
+//   scale_sweep [--smoke] [--json out.json]
+//     --smoke       AVMEM_FAST=1 footprint
+//     --json PATH   additionally write machine-readable per-point results
+//                   (CI stores this as BENCH_scale.json to track the perf
+//                   trajectory across PRs)
 //
 // Environment:
 //   AVMEM_SCALE_NS        comma list of population sizes
@@ -24,10 +30,13 @@
 //   AVMEM_SCALE_SEED      base RNG seed (default 20070101)
 //   AVMEM_TRACE_BACKEND   dense | bitpacked | markov
 //                         (default: the scenario's choice, markov)
+//   AVMEM_THREADS         maintenance plan-phase threads
+//                         (default 0 = every core; 1 = serial)
 //   AVMEM_FAST=1          smoke footprint: "2000" nodes, 30 min warm-up
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -73,6 +82,56 @@ std::vector<std::uint32_t> populationSizes(bool fast) {
   return out;
 }
 
+/// One sweep point, as printed and as serialized to --json.
+struct PointResult {
+  std::uint32_t n = 0;
+  std::string backend;
+  std::size_t threads = 1;
+  double modelMb = 0.0;
+  double buildS = 0.0;
+  double warmupS = 0.0;
+  double warmupSimH = 0.0;
+  std::uint64_t events = 0;
+  double eventsPerS = 0.0;
+  double planS = 0.0;    ///< warm-up wall in the parallelizable plan phase
+  double commitS = 0.0;  ///< warm-up wall in the serial commit phase
+  std::size_t maintTimers = 0;
+  double meanDegree = 0.0;
+  std::size_t anycasts = 0;
+  double deliveredFraction = 0.0;
+  double batchS = 0.0;
+};
+
+void writeJson(const std::string& path, const std::vector<PointResult>& points,
+               std::uint64_t seed) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "scale_sweep: cannot write '" << path << "'\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"scale_sweep\",\n  \"seed\": " << seed
+      << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    out << "    {\"n\": " << p.n << ", \"backend\": \"" << p.backend
+        << "\", \"threads\": " << p.threads << ", \"model_mb\": " << p.modelMb
+        << ", \"build_s\": " << p.buildS << ", \"warmup_s\": " << p.warmupS
+        << ", \"warmup_sim_h\": " << p.warmupSimH
+        << ", \"events\": " << p.events
+        << ", \"events_per_s\": " << p.eventsPerS
+        << ", \"plan_s\": " << p.planS << ", \"commit_s\": " << p.commitS
+        << ", \"maint_timers\": " << p.maintTimers
+        << ", \"mean_degree\": " << p.meanDegree
+        << ", \"anycasts\": " << p.anycasts
+        << ", \"delivered_fraction\": " << p.deliveredFraction
+        << ", \"batch_s\": " << p.batchS << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "scale_sweep: wrote " << points.size() << " point(s) to "
+            << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,12 +139,15 @@ int main(int argc, char** argv) {
     const char* f = std::getenv("AVMEM_FAST");
     return f != nullptr && f[0] == '1';
   }();
+  std::optional<std::string> jsonPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       fast = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
     } else {
       std::cerr << "scale_sweep: unknown argument '" << argv[i]
-                << "' (the only flag is --smoke)\n";
+                << "' (usage: scale_sweep [--smoke] [--json out.json])\n";
       return 2;
     }
   }
@@ -97,13 +159,14 @@ int main(int argc, char** argv) {
 
   std::cout << "# scale_sweep: maintenance + anycast throughput vs N\n";
   std::cout << "# scale mode: oracle availability, kFast64 pair hash, "
-               "sharded maintenance, "
+               "sharded maintenance, parallel plan dispatch, "
             << (backend ? core::traceBackendName(*backend) : "markov")
             << " availability backend\n";
-  std::cout << "# n backend model_mb build_s warmup_s warmup_sim_h events "
-               "events_per_s maint_timers mean_degree anycasts delivered "
-               "batch_s\n";
+  std::cout << "# n backend threads model_mb build_s warmup_s warmup_sim_h "
+               "events events_per_s plan_s commit_s maint_timers "
+               "mean_degree anycasts delivered batch_s\n";
 
+  std::vector<PointResult> points;
   for (const std::uint32_t n : populationSizes(fast)) {
     auto scenario = core::makeScaleScenario(n, seed);
     if (fast) scenario.warmup = sim::SimDuration::minutes(30);
@@ -119,12 +182,14 @@ int main(int argc, char** argv) {
         static_cast<double>(system.trace().memoryFootprintBytes()) /
         (1024.0 * 1024.0);
 
-    std::cerr << "warming up " << scenario.warmup.toString()
-              << " simulated...\n";
+    std::cerr << "warming up " << scenario.warmup.toString() << " simulated ("
+              << system.maintenanceThreads() << " plan thread(s))...\n";
     const auto tWarm = Clock::now();
     system.warmup(scenario.warmup);
     const double warmupS = secondsSince(tWarm);
     const std::uint64_t warmupEvents = system.simulator().executedEvents();
+    const double planS = system.membershipEngine().planWallSeconds();
+    const double commitS = system.membershipEngine().commitWallSeconds();
 
     // Mean degree over a fixed-size sample (full scans are O(N) and tell
     // the same story).
@@ -150,15 +215,34 @@ int main(int argc, char** argv) {
                                               fast ? 10 : 20);
     const double batchS = secondsSince(tBatch);
 
-    std::cout << n << " "
-              << core::traceBackendName(scenario.config.traceBackend) << " "
-              << modelMb << " " << buildS << " " << warmupS << " "
-              << scenario.warmup.toHours() << " " << warmupEvents << " "
-              << (warmupS > 0.0
-                      ? static_cast<double>(warmupEvents) / warmupS
-                      : 0.0)
-              << " " << maintTimers << " " << degree << " " << batch.count()
-              << " " << batch.deliveredFraction() << " " << batchS << "\n";
+    PointResult p;
+    p.n = n;
+    p.backend = core::traceBackendName(scenario.config.traceBackend);
+    p.threads = system.maintenanceThreads();
+    p.modelMb = modelMb;
+    p.buildS = buildS;
+    p.warmupS = warmupS;
+    p.warmupSimH = scenario.warmup.toHours();
+    p.events = warmupEvents;
+    p.eventsPerS = warmupS > 0.0
+                       ? static_cast<double>(warmupEvents) / warmupS
+                       : 0.0;
+    p.planS = planS;
+    p.commitS = commitS;
+    p.maintTimers = maintTimers;
+    p.meanDegree = degree;
+    p.anycasts = batch.count();
+    p.deliveredFraction = batch.deliveredFraction();
+    p.batchS = batchS;
+    points.push_back(p);
+
+    std::cout << p.n << " " << p.backend << " " << p.threads << " "
+              << p.modelMb << " " << p.buildS << " " << p.warmupS << " "
+              << p.warmupSimH << " " << p.events << " " << p.eventsPerS
+              << " " << p.planS << " " << p.commitS << " " << p.maintTimers
+              << " " << p.meanDegree << " " << p.anycasts << " "
+              << p.deliveredFraction << " " << p.batchS << "\n";
   }
+  if (jsonPath) writeJson(*jsonPath, points, seed);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/avmem_node.hpp"
 
+#include <cassert>
+
 namespace avmem::core {
 
 std::vector<NeighborEntry> AvmemNode::neighbors(SliverSet set) const {
@@ -16,87 +18,159 @@ void AvmemNode::updateSelfAvailability() {
   }
 }
 
-std::optional<AvmemNode::Evaluation> AvmemNode::evaluatePeer(NodeIndex peer) {
-  ++stats_.availabilityQueries;
-  const auto peerAv = ctx_->availability.query(self_, peer);
-  if (!peerAv) return std::nullopt;
+double AvmemNode::planSelfAvailability(MaintenancePlan& plan) const {
+  ++plan.availabilityQueries;
+  if (const auto av = ctx_->availability.query(self_, self_)) {
+    plan.selfAv = *av;
+    return *av;
+  }
+  return selfAv_;
+}
 
-  Evaluation ev;
-  ev.peerAv = *peerAv;
-  ev.kind = ctx_->predicate.classify(selfAv_, ev.peerAv);
+MaintenancePlan::PeerEval AvmemNode::planEvaluatePeer(
+    NodeIndex peer, double effSelf, MaintenancePlan& plan) const {
+  ++plan.availabilityQueries;
+  MaintenancePlan::PeerEval ev;
+  ev.peer = peer;
+  const auto peerAv = ctx_->availability.query(self_, peer);
+  if (!peerAv) return ev;
+
+  ev.known = true;
+  ev.av = *peerAv;
+  ev.kind = ctx_->predicate.classify(effSelf, ev.av);
   const double h = ctx_->hashOf(self_, peer);
-  ev.member = ctx_->predicate.evaluate(h, selfAv_, ev.peerAv);
+  ev.member = ctx_->predicate.evaluate(h, effSelf, ev.av);
   return ev;
 }
 
-void AvmemNode::discoverBatch(std::span<const NodeIndex> view) {
-  ++stats_.discoveryRounds;
-  updateSelfAvailability();
-
+void AvmemNode::planDiscovery(std::span<const NodeIndex> view,
+                              MaintenancePlan& plan) const {
+  const double effSelf = planSelfAvailability(plan);
   for (const NodeIndex peer : view) {
     if (peer == self_ || knows(peer)) continue;
-    const auto ev = evaluatePeer(peer);
-    if (!ev || !ev->member) continue;
-    SliverList& list = ev->kind == SliverKind::kHorizontal ? hs_ : vs_;
-    if (list.upsert(peer, ev->peerAv, ctx_->sim.now())) {
+    const auto ev = planEvaluatePeer(peer, effSelf, plan);
+    if (ev.known && ev.member) plan.evals.push_back(ev);
+  }
+}
+
+void AvmemNode::commitDiscovery(const MaintenancePlan& plan) {
+  ++stats_.discoveryRounds;
+  stats_.availabilityQueries += plan.availabilityQueries;
+  if (plan.selfAv) selfAv_ = *plan.selfAv;
+  for (const auto& ev : plan.evals) {
+    SliverList& list = ev.kind == SliverKind::kHorizontal ? hs_ : vs_;
+    if (list.upsert(ev.peer, ev.av, ctx_->sim.now())) {
       ++stats_.neighborsDiscovered;
     }
   }
 }
 
-void AvmemNode::adoptCoarseView(std::span<const NodeIndex> view) {
-  ++stats_.discoveryRounds;
-  updateSelfAvailability();
-  hs_.clear();
-  vs_.clear();
-  vs_.reserve(view.size());
+void AvmemNode::planAdopt(std::span<const NodeIndex> view,
+                          MaintenancePlan& plan) const {
+  planSelfAvailability(plan);
   for (const NodeIndex peer : view) {
     if (peer == self_) continue;
-    ++stats_.availabilityQueries;
+    ++plan.availabilityQueries;
     const auto av = ctx_->availability.query(self_, peer);
     if (!av) continue;
-    vs_.upsert(peer, *av, ctx_->sim.now());
+    plan.evals.push_back(MaintenancePlan::PeerEval{
+        peer, true, true, SliverKind::kVertical, *av});
   }
 }
 
-void AvmemNode::refreshSliver(
-    SliverList& own, SliverKind ownKind,
-    std::vector<std::pair<NodeIndex, double>>& moved) {
+void AvmemNode::commitAdopt(const MaintenancePlan& plan) {
+  ++stats_.discoveryRounds;
+  stats_.availabilityQueries += plan.availabilityQueries;
+  if (plan.selfAv) selfAv_ = *plan.selfAv;
+  hs_.clear();
+  vs_.clear();
+  vs_.reserve(plan.evals.size());
+  for (const auto& ev : plan.evals) {
+    vs_.upsert(ev.peer, ev.av, ctx_->sim.now());
+  }
+}
+
+void AvmemNode::planRefresh(MaintenancePlan& plan) const {
+  const double effSelf = planSelfAvailability(plan);
+  for (const NodeIndex peer : hs_.peers()) {
+    plan.evals.push_back(planEvaluatePeer(peer, effSelf, plan));
+  }
+  plan.hsEvalCount = plan.evals.size();
+  for (const NodeIndex peer : vs_.peers()) {
+    plan.evals.push_back(planEvaluatePeer(peer, effSelf, plan));
+  }
+}
+
+void AvmemNode::refreshSliverFromPlan(
+    const MaintenancePlan& plan, std::size_t evalOffset, SliverList& own,
+    SliverKind ownKind, std::vector<std::pair<NodeIndex, double>>& moved) {
   // Single in-place pass over the flat arrays; removeAt swaps the back
   // entry into position i, so i only advances when the entry survives.
+  // Entry i's eval is addressed by index — planRefresh emitted evals in
+  // list order, and `idx` mirrors every swap-removal the list makes, so
+  // the correspondence holds without searching (the plan snapshot and
+  // this commit run inside one slot firing; nothing mutates the lists
+  // in between).
+  std::vector<std::size_t> idx(own.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = evalOffset + i;
   for (std::size_t i = 0; i < own.size();) {
-    const NodeIndex peer = own.peerAt(i);
-    const auto ev = evaluatePeer(peer);
-    if (!ev || !ev->member) {
+    const MaintenancePlan::PeerEval& ev = plan.evals[idx[i]];
+    assert(ev.peer == own.peerAt(i));
+    const auto removeHere = [&] {
+      own.removeAt(i);
+      idx[i] = idx.back();
+      idx.pop_back();
+    };
+    if (!ev.known || !ev.member) {
       // Predicate no longer holds (availability drift) or the service
       // lost track of the peer: evict, per the Refresh sub-protocol.
-      own.removeAt(i);
+      removeHere();
       ++stats_.neighborsEvicted;
       continue;
     }
-    if (ev->kind != ownKind) {
-      moved.emplace_back(peer, ev->peerAv);
-      own.removeAt(i);
+    if (ev.kind != ownKind) {
+      moved.emplace_back(ev.peer, ev.av);
+      removeHere();
       continue;
     }
-    own.refreshAt(i, ev->peerAv, ctx_->sim.now());
+    own.refreshAt(i, ev.av, ctx_->sim.now());
     ++i;
   }
 }
 
-void AvmemNode::refreshBatch() {
+void AvmemNode::commitRefresh(const MaintenancePlan& plan) {
   ++stats_.refreshRounds;
-  updateSelfAvailability();
+  stats_.availabilityQueries += plan.availabilityQueries;
+  if (plan.selfAv) selfAv_ = *plan.selfAv;
 
   // Entries whose classification moved are collected during the passes and
   // re-filed afterwards, so each neighbor is evaluated exactly once per
   // round (an entry moved HS -> VS must not be re-scanned by the VS pass).
   std::vector<std::pair<NodeIndex, double>> toVs;
   std::vector<std::pair<NodeIndex, double>> toHs;
-  refreshSliver(hs_, SliverKind::kHorizontal, toVs);
-  refreshSliver(vs_, SliverKind::kVertical, toHs);
+  refreshSliverFromPlan(plan, 0, hs_, SliverKind::kHorizontal, toVs);
+  refreshSliverFromPlan(plan, plan.hsEvalCount, vs_, SliverKind::kVertical,
+                        toHs);
   for (const auto& [peer, av] : toVs) vs_.upsert(peer, av, ctx_->sim.now());
   for (const auto& [peer, av] : toHs) hs_.upsert(peer, av, ctx_->sim.now());
+}
+
+void AvmemNode::discoverBatch(std::span<const NodeIndex> view) {
+  MaintenancePlan plan;
+  planDiscovery(view, plan);
+  commitDiscovery(plan);
+}
+
+void AvmemNode::adoptCoarseView(std::span<const NodeIndex> view) {
+  MaintenancePlan plan;
+  planAdopt(view, plan);
+  commitAdopt(plan);
+}
+
+void AvmemNode::refreshBatch() {
+  MaintenancePlan plan;
+  planRefresh(plan);
+  commitRefresh(plan);
 }
 
 bool AvmemNode::verifyIncoming(NodeIndex sender) {

@@ -35,6 +35,51 @@ struct ProtocolContext {
   }
 };
 
+/// The product of one maintenance round's read-only *plan* phase, applied
+/// by the serial *commit* phase (see MembershipEngine: plans for a whole
+/// scheduler slot may run concurrently, commits always run in slot order).
+/// A plan captures everything the round observed — the self-availability
+/// answer, the per-peer predicate evaluations, and how many service
+/// queries it made — so committing it reproduces the serial batch
+/// entry points bit for bit.
+struct MaintenancePlan {
+  /// Was the node online when the round fired (engine-filled; offline
+  /// rounds plan nothing and commit only the skip counter)?
+  bool online = false;
+  /// Service queries the plan phase issued (folded into NodeStats at
+  /// commit so counters stay identical to the serial path).
+  std::uint64_t availabilityQueries = 0;
+  /// Fresh self-availability answer; nullopt when the service had none
+  /// (the node then keeps its previous estimate).
+  std::optional<double> selfAv;
+
+  /// One planned peer evaluation.
+  struct PeerEval {
+    NodeIndex peer = 0;
+    bool known = false;   ///< the service had an estimate for the peer
+    bool member = false;  ///< M(self, peer) held
+    SliverKind kind = SliverKind::kVertical;
+    double av = 0.0;
+  };
+  /// Discovery: admitted peers only. Refresh: every current neighbor —
+  /// HS entries first (in list order), then VS entries, with
+  /// `hsEvalCount` marking the boundary so the commit pass can address
+  /// each entry's eval by index instead of searching. Adopt (coarse-view
+  /// overlay): every view peer with an estimate.
+  std::vector<PeerEval> evals;
+  std::size_t hsEvalCount = 0;  ///< refresh only: evals[0, hsEvalCount) = HS
+
+  /// Ready the plan for reuse; keeps the evals capacity (the engine
+  /// recycles lane buffers across slots to avoid allocation churn).
+  void reset() noexcept {
+    online = false;
+    availabilityQueries = 0;
+    selfAv.reset();
+    evals.clear();
+    hsEvalCount = 0;
+  }
+};
+
 /// Per-node protocol counters.
 struct NodeStats {
   std::uint64_t discoveryRounds = 0;
@@ -79,16 +124,42 @@ class AvmemNode {
   /// (HS first). Entries carry cached availabilities for routing.
   [[nodiscard]] std::vector<NeighborEntry> neighbors(SliverSet set) const;
 
-  /// One Discovery round over a batch of candidates: scan the coarse
-  /// `view`, test the predicate against monitoring-service availabilities,
-  /// admit matching peers into the proper sliver. No-op while this node is
-  /// offline (callers gate on churn; see MembershipEngine).
+  // --- maintenance rounds: plan (read-only) → commit (mutating) -----------
+  //
+  // Every round is split so the engine may run many nodes' plan phases
+  // concurrently: a plan method is const, reads only this node's state
+  // plus concurrency-safe shared services, and writes nothing but the
+  // caller's plan buffer; the matching commit method applies the plan.
+  // The serial batch entry points below are exactly plan-then-commit, so
+  // both execution modes share one code path and cannot drift.
+
+  /// Plan one Discovery round: scan the coarse `view`, test the predicate
+  /// against monitoring-service availabilities, record peers to admit.
+  /// `plan` must be fresh (reset).
+  void planDiscovery(std::span<const NodeIndex> view,
+                     MaintenancePlan& plan) const;
+  /// Apply a Discovery plan: admit the planned peers into their slivers.
+  void commitDiscovery(const MaintenancePlan& plan);
+
+  /// Plan one Refresh round: re-fetch availabilities and re-evaluate
+  /// M(self, peer) for every neighbor in both slivers.
+  void planRefresh(MaintenancePlan& plan) const;
+  /// Apply a Refresh plan: evict entries whose predicate turned false,
+  /// re-file entries whose sliver classification moved, refresh the rest.
+  void commitRefresh(const MaintenancePlan& plan);
+
+  /// Plan a coarse-view adoption round (baseline overlays): fetch an
+  /// availability for every view peer.
+  void planAdopt(std::span<const NodeIndex> view, MaintenancePlan& plan) const;
+  /// Apply an adoption plan: replace the membership state with the view.
+  void commitAdopt(const MaintenancePlan& plan);
+
+  /// One Discovery round over a batch of candidates (plan + commit).
+  /// No-op while this node is offline (callers gate on churn; see
+  /// MembershipEngine).
   void discoverBatch(std::span<const NodeIndex> view);
 
-  /// One Refresh round over both slivers: re-fetch availabilities for
-  /// every neighbor in one flat pass, re-evaluate M(self, peer), evict
-  /// entries whose predicate turned false, re-file entries whose sliver
-  /// classification moved.
+  /// One Refresh round over both slivers (plan + commit).
   void refreshBatch();
 
   /// Single-round conveniences (unit tests drive these directly).
@@ -119,20 +190,29 @@ class AvmemNode {
   }
 
  private:
-  /// Evaluate M(self, peer); nullopt when the service has no estimate for
-  /// the peer. On success also reports the sliver classification and the
-  /// peer availability used.
-  struct Evaluation {
-    bool member = false;
-    SliverKind kind = SliverKind::kVertical;
-    double peerAv = 0.0;
-  };
-  [[nodiscard]] std::optional<Evaluation> evaluatePeer(NodeIndex peer);
+  /// Plan-phase self-availability fetch: counts the query, records the
+  /// answer, returns the availability the round's evaluations should use
+  /// (the fresh answer, or the current estimate when the service had
+  /// none).
+  double planSelfAvailability(MaintenancePlan& plan) const;
 
-  /// One Refresh pass over `own`: evict dead entries in place, refresh
-  /// live ones, collect entries that re-classified into the other sliver.
-  void refreshSliver(SliverList& own, SliverKind ownKind,
-                     std::vector<std::pair<NodeIndex, double>>& moved);
+  /// Plan-phase evaluation of M(self, peer) with `effSelf` as this node's
+  /// availability; counts the query and reports classification +
+  /// membership in the returned eval (known = false when the service has
+  /// no estimate).
+  [[nodiscard]] MaintenancePlan::PeerEval planEvaluatePeer(
+      NodeIndex peer, double effSelf, MaintenancePlan& plan) const;
+
+  /// Commit-phase Refresh pass over `own`: evict dead entries in place,
+  /// refresh live ones, collect entries that re-classified into the other
+  /// sliver — the planned evaluations standing in for live service calls.
+  /// `evals[evalOffset + i]` must be the evaluation of the entry that was
+  /// at position i when the plan was taken (planRefresh guarantees this;
+  /// the pass keeps the correspondence intact through swap-removals).
+  void refreshSliverFromPlan(const MaintenancePlan& plan,
+                             std::size_t evalOffset, SliverList& own,
+                             SliverKind ownKind,
+                             std::vector<std::pair<NodeIndex, double>>& moved);
 
   NodeIndex self_;
   ProtocolContext* ctx_;

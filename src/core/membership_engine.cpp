@@ -1,5 +1,7 @@
 #include "core/membership_engine.hpp"
 
+#include <algorithm>
+
 namespace avmem::core {
 
 using net::NodeIndex;
@@ -14,17 +16,32 @@ void MembershipEngine::start() {
   // skip the round (they are not running). In coarse-view-overlay mode
   // (Figure-10 baseline) the view *is* the membership list, so the round
   // adopts it wholesale instead.
-  discovery_.start(sim_, config_.discoveryPeriod, config_.shards, n,
-                   rng_.fork("discovery-jitter"),
-                   [this](std::uint32_t i) { discoveryTick(i); });
+  discovery_.startParallel(
+      sim_, config_.discoveryPeriod, config_.shards, n,
+      rng_.fork("discovery-jitter"), pool_,
+      [this](std::uint32_t i, std::size_t lane) {
+        planTick(Round::kDiscovery, i, lane);
+      },
+      [this](std::uint32_t i, std::size_t lane) {
+        commitTick(Round::kDiscovery, i, lane);
+      });
 
   // Refresh: every refresh period, re-validate both slivers (no-op for
   // the view overlay, whose list is rebuilt every round anyway).
   if (!config_.coarseViewOverlay) {
-    refresh_.start(sim_, config_.refreshPeriod, config_.shards, n,
-                   rng_.fork("refresh-jitter"),
-                   [this](std::uint32_t i) { refreshTick(i); });
+    refresh_.startParallel(
+        sim_, config_.refreshPeriod, config_.shards, n,
+        rng_.fork("refresh-jitter"), pool_,
+        [this](std::uint32_t i, std::size_t lane) {
+          planTick(Round::kRefresh, i, lane);
+        },
+        [this](std::uint32_t i, std::size_t lane) {
+          commitTick(Round::kRefresh, i, lane);
+        });
   }
+
+  lanes_.resize(std::max(discovery_.maxSlotPopulation(),
+                         refresh_.maxSlotPopulation()));
 }
 
 void MembershipEngine::stop() {
@@ -33,26 +50,40 @@ void MembershipEngine::stop() {
   started_ = false;
 }
 
-void MembershipEngine::discoveryTick(NodeIndex i) {
-  if (!online_(i)) {
-    ++stats_.skippedOffline;
-    return;
-  }
-  ++stats_.discoveryRounds;
-  if (config_.coarseViewOverlay) {
-    nodes_[i].adoptCoarseView(view_(i));
+void MembershipEngine::planTick(Round round, NodeIndex i, std::size_t lane) {
+  MaintenancePlan& plan = lanes_[lane];
+  plan.reset();
+  plan.online = online_(i);
+  if (!plan.online) return;
+  if (round == Round::kDiscovery) {
+    if (config_.coarseViewOverlay) {
+      nodes_[i].planAdopt(view_(i), plan);
+    } else {
+      nodes_[i].planDiscovery(view_(i), plan);
+    }
   } else {
-    nodes_[i].discoverBatch(view_(i));
+    nodes_[i].planRefresh(plan);
   }
 }
 
-void MembershipEngine::refreshTick(NodeIndex i) {
-  if (!online_(i)) {
+void MembershipEngine::commitTick(Round round, NodeIndex i,
+                                  std::size_t lane) {
+  const MaintenancePlan& plan = lanes_[lane];
+  if (!plan.online) {
     ++stats_.skippedOffline;
     return;
   }
-  ++stats_.refreshRounds;
-  nodes_[i].refreshBatch();
+  if (round == Round::kDiscovery) {
+    ++stats_.discoveryRounds;
+    if (config_.coarseViewOverlay) {
+      nodes_[i].commitAdopt(plan);
+    } else {
+      nodes_[i].commitDiscovery(plan);
+    }
+  } else {
+    ++stats_.refreshRounds;
+    nodes_[i].commitRefresh(plan);
+  }
 }
 
 }  // namespace avmem::core

@@ -4,15 +4,26 @@
 // AVMEM separates mechanism from policy: the *predicate* decides who
 // belongs in a list, the *maintenance machinery* merely keeps evaluating it
 // against the churning coarse views. This engine is that machinery. It owns
-// the maintenance schedule for every node and drives the batched
-// discover/refresh entry points on AvmemNode; the schedule itself is a
-// sharded timing wheel (sim/sharded_scheduler.hpp), so the event queue
+// the maintenance schedule for every node and drives each node's
+// plan/commit maintenance rounds (core/avmem_node.hpp); the schedule itself
+// is a sharded timing wheel (sim/sharded_scheduler.hpp), so the event queue
 // carries O(shards) maintenance timers instead of 2·N PeriodicTasks —
 // the difference between thousands and millions of nodes.
 //
+// Parallel dispatch: every maintenance round is split into a read-only
+// *plan* phase and a mutating *commit* phase. When the engine is given a
+// WorkerPool, a slot firing fans the plan phase of all its members across
+// the pool and joins before committing serially in slot order (the
+// scheduler's barrier mode) — simulated time never moves while workers
+// run, and because plans only read concurrency-safe shared state and
+// write lane-private buffers, stats, slivers, and overlays are
+// bit-identical for any thread count.
+//
 // The engine is policy-free: it does not know which availability backend,
 // predicate, or view substrate is plugged in. AvmemSimulation assembles
-// those and hands the engine callables.
+// those and hands the engine its two read seams — the coarse-view and
+// churn-oracle callables consumed by the plan phase — plus the optional
+// worker pool.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,7 @@
 #include "sim/random.hpp"
 #include "sim/sharded_scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace avmem::core {
 
@@ -55,15 +67,22 @@ class MembershipEngine {
   /// Is a node online right now (the churn oracle)?
   using OnlineFn = std::function<bool(net::NodeIndex)>;
 
+  /// `pool` (optional) parallelizes the plan phase of slot firings; the
+  /// caller must only pass a pool when the view/online seams and the
+  /// node's plan-phase reads (availability service, pair hasher, churn
+  /// model) are safe to call concurrently — AvmemSimulation gates this on
+  /// the backends' declared capabilities.
   MembershipEngine(sim::Simulator& sim, std::vector<AvmemNode>& nodes,
                    ViewFn view, OnlineFn online,
-                   const MembershipEngineConfig& config, sim::Rng rng)
+                   const MembershipEngineConfig& config, sim::Rng rng,
+                   sim::WorkerPool* pool = nullptr)
       : sim_(sim),
         nodes_(nodes),
         view_(std::move(view)),
         online_(std::move(online)),
         config_(config),
-        rng_(rng) {}
+        rng_(rng),
+        pool_(pool) {}
 
   MembershipEngine(const MembershipEngine&) = delete;
   MembershipEngine& operator=(const MembershipEngine&) = delete;
@@ -83,6 +102,22 @@ class MembershipEngine {
     return discovery_.activeShardCount() + refresh_.activeShardCount();
   }
 
+  /// Execution lanes the plan phase uses (1 = fully serial).
+  [[nodiscard]] std::size_t planThreads() const noexcept {
+    return pool_ != nullptr ? pool_->threadCount() : 1;
+  }
+
+  /// Host wall-clock spent in the (parallelizable) plan phase across both
+  /// schedules since start().
+  [[nodiscard]] double planWallSeconds() const noexcept {
+    return discovery_.planWallSeconds() + refresh_.planWallSeconds();
+  }
+  /// Host wall-clock spent in the serial commit phase across both
+  /// schedules since start().
+  [[nodiscard]] double commitWallSeconds() const noexcept {
+    return discovery_.commitWallSeconds() + refresh_.commitWallSeconds();
+  }
+
   [[nodiscard]] const sim::ShardedScheduler& discoveryScheduler()
       const noexcept {
     return discovery_;
@@ -96,8 +131,14 @@ class MembershipEngine {
   }
 
  private:
-  void discoveryTick(net::NodeIndex i);
-  void refreshTick(net::NodeIndex i);
+  /// Which maintenance round a slot firing is running.
+  enum class Round : std::uint8_t { kDiscovery, kRefresh };
+
+  /// Plan phase: read-only against shared state, writes only the member's
+  /// lane buffer; safe to run concurrently for all members of a slot.
+  void planTick(Round round, net::NodeIndex i, std::size_t lane);
+  /// Commit phase: applies the lane buffer; runs serially in slot order.
+  void commitTick(Round round, net::NodeIndex i, std::size_t lane);
 
   sim::Simulator& sim_;
   std::vector<AvmemNode>& nodes_;
@@ -105,8 +146,12 @@ class MembershipEngine {
   OnlineFn online_;
   MembershipEngineConfig config_;
   sim::Rng rng_;
+  sim::WorkerPool* pool_ = nullptr;
   sim::ShardedScheduler discovery_;
   sim::ShardedScheduler refresh_;
+  /// Lane-indexed plan buffers, sized to the largest slot and reused
+  /// across firings (evals capacity survives reset()).
+  std::vector<MaintenancePlan> lanes_;
   MembershipEngineStats stats_;
   bool started_ = false;
 };

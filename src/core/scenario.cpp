@@ -1,16 +1,44 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
 #include <stdexcept>
 
 namespace avmem::core {
 
 namespace {
 
-/// Apply the caller's host/seed overrides to an already-built scenario.
+/// AVMEM_THREADS override for the maintenance plan-phase thread count
+/// (0 = auto / hardware_concurrency, 1 = serial). Applies to every
+/// scenario the registry builds and to makeScaleScenario, so a bench or
+/// CI job can pin the thread count without touching configs. Malformed
+/// values (non-digits, minus signs, absurd counts) are rejected loudly
+/// rather than silently becoming "auto" or a few billion threads.
+[[nodiscard]] std::optional<std::size_t> threadsFromEnv() {
+  const char* t = std::getenv("AVMEM_THREADS");
+  if (t == nullptr || *t == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(t, &end, 10);
+  constexpr unsigned long kMaxThreads = 1024;
+  if (end == t || *end != '\0' || t[0] == '-' || value > kMaxThreads) {
+    std::cerr << "scenario: ignoring AVMEM_THREADS='" << t
+              << "' (want an integer in [0, " << kMaxThreads
+              << "]; 0 = auto)\n";
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Apply the caller's host/seed overrides plus the environment thread
+/// override to an already-built scenario.
 void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
   if (tuning.hosts != 0) s.config.trace.hosts = tuning.hosts;
   if (tuning.seed != 0) s.config.seed = tuning.seed;
+  if (const auto threads = threadsFromEnv()) {
+    s.config.maintenanceThreads = *threads;
+  }
 }
 
 /// The Middleware 2007 evaluation setup (fig_common.hpp's former
@@ -119,6 +147,15 @@ Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
 
   // Auto-sharded maintenance (O(256) timers regardless of N).
   s.config.maintenanceShards = 0;
+
+  // Parallel plan-phase dispatch on every core (0 = hardware_concurrency):
+  // the scale read paths (oracle service, kFast64 hash, Markov churn) are
+  // all concurrency-safe, and results are thread-count-invariant by
+  // construction. Paper scenarios keep the serial default of 1.
+  s.config.maintenanceThreads = 0;
+  if (const auto threads = threadsFromEnv()) {
+    s.config.maintenanceThreads = *threads;
+  }
 
   s.warmup = sim::SimDuration::hours(2);
   return s;

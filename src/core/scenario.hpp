@@ -84,7 +84,8 @@ class ScenarioRegistry {
 /// scale-10k/100k/1m entries are fixed points of this). Oracle
 /// availability, kFast64 pair hash, 1-day streaming Markov churn
 /// (O(hosts) memory — nothing materialized), compact high-churn views,
-/// auto-sharded maintenance.
+/// auto-sharded maintenance, plan-phase threads on every core
+/// (AVMEM_THREADS overrides; paper-* scenarios stay serial).
 [[nodiscard]] Scenario makeScaleScenario(std::uint32_t hosts,
                                          std::uint64_t seed = 20070101);
 

@@ -193,6 +193,23 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   shuffle_ = std::make_unique<avmon::ShuffleService>(
       *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"));
 
+  // Parallel shard dispatch: the maintenance plan phase may fan out
+  // across a worker pool, but only when every shared read on that path is
+  // concurrency-safe — the service and hasher declare their capability,
+  // and anything else clamps back to serial. The clamp never changes
+  // results (plan/commit is bit-identical at any thread count), only how
+  // many cores the warm-up uses.
+  std::size_t threads = config.maintenanceThreads == 0
+                            ? sim::WorkerPool::defaultThreadCount()
+                            : config.maintenanceThreads;
+  if (threads > 1 &&
+      (!service_->concurrentReadSafe() || !pairHash_->concurrentSafe())) {
+    threads = 1;
+  }
+  if (threads > 1) {
+    pool_ = std::make_unique<sim::WorkerPool>(threads);
+  }
+
   // Maintenance: the engine owns discovery/refresh for every node over a
   // sharded schedule — O(shards) timers in the event queue, not O(nodes).
   MembershipEngineConfig engineConfig;
@@ -209,7 +226,7 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
       [tracePtr, simPtr](NodeIndex i) {
         return tracePtr->onlineAt(i, simPtr->now());
       },
-      engineConfig, rng_.fork("task-stagger"));
+      engineConfig, rng_.fork("task-stagger"), pool_.get());
 
   anycastEngine_ = std::make_unique<AnycastEngine>(
       *ctx_, *network_, nodes_, rng_.fork("anycast"));

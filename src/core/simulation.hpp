@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/worker_pool.hpp"
 #include "trace/availability_model.hpp"
 #include "trace/churn_trace.hpp"
 #include "trace/overnet_generator.hpp"
@@ -115,6 +116,16 @@ struct SimulationConfig {
   /// shuffle); 0 = auto (per-node slots up to 256). The event queue holds
   /// O(shards) maintenance timers regardless of population size.
   std::size_t maintenanceShards = 0;
+
+  /// Worker threads for the maintenance plan phase (parallel shard
+  /// dispatch; see docs/ARCHITECTURE.md "Parallel dispatch"). 1 = fully
+  /// serial — the paper-fidelity default; 0 = auto
+  /// (hardware_concurrency). Counts above 1 require concurrency-safe
+  /// read paths — an oracle/noisy availability service and the
+  /// cache-bypassing kFast64 pair hash — and are clamped to 1 otherwise
+  /// (results are identical either way; only wall-clock changes).
+  /// Scenario builders honor the AVMEM_THREADS environment override.
+  std::size_t maintenanceThreads = 1;
 };
 
 /// Availability band used to pick initiators (paper Section 4.2:
@@ -218,6 +229,11 @@ class AvmemSimulation {
   [[nodiscard]] const MembershipEngine& membershipEngine() const noexcept {
     return *engine_;
   }
+  /// Effective maintenance plan-phase thread count after auto-resolution
+  /// and the concurrency-safety clamp (1 = serial).
+  [[nodiscard]] std::size_t maintenanceThreads() const noexcept {
+    return pool_ != nullptr ? pool_->threadCount() : 1;
+  }
   [[nodiscard]] const std::vector<NodeId>& ids() const noexcept {
     return ids_;
   }
@@ -287,6 +303,7 @@ class AvmemSimulation {
   std::unique_ptr<hashing::CachingPairHasher> pairHash_;
   std::unique_ptr<ProtocolContext> ctx_;
   std::vector<AvmemNode> nodes_;
+  std::unique_ptr<sim::WorkerPool> pool_;
   std::unique_ptr<MembershipEngine> engine_;
   std::unique_ptr<AnycastEngine> anycastEngine_;
   std::unique_ptr<MulticastEngine> multicastEngine_;

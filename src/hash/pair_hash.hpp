@@ -123,6 +123,15 @@ class CachingPairHasher {
     return hasher_.algorithm();
   }
 
+  /// True when hash() may be called concurrently: kFast64 bypasses the
+  /// memo map entirely, so there is no shared mutable state on its path.
+  /// Digest backends mutate the cache and must stay on a single thread;
+  /// the parallel maintenance engine checks this and plans serially for
+  /// them (correctness never depends on the flag, only parallelism).
+  [[nodiscard]] bool concurrentSafe() const noexcept {
+    return hasher_.algorithm() == PairHashAlgorithm::kFast64;
+  }
+
   [[nodiscard]] std::size_t cacheSize() const noexcept {
     return cache_.size();
   }

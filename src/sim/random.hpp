@@ -110,6 +110,22 @@ class Rng {
     }
   }
 
+  /// Counter-based stream derivation: an independent generator that is a
+  /// pure function of (seed, member, round), with no sequential state
+  /// shared between streams. This is the form parallel plan phases must
+  /// use — any worker may draw member m's round-r randomness without
+  /// observing what other workers drew, so results are independent of the
+  /// thread interleaving (see docs/ARCHITECTURE.md "Parallel dispatch").
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t member,
+                                  std::uint64_t round) noexcept {
+    std::uint64_t h = seed;
+    h ^= splitMix64(h) ^ (member * 0x9E3779B97F4A7C15ull);
+    h ^= splitMix64(h) ^ (round * 0xC2B2AE3D27D4EB4Full);
+    std::uint64_t sm = h;
+    (void)splitMix64(sm);  // decorrelate from the raw counter hash
+    return Rng(sm);
+  }
+
   /// Derive an independent child generator from a label and optional index.
   /// Forking is a pure function of (parent seed material, label, idx).
   [[nodiscard]] Rng fork(std::string_view label,

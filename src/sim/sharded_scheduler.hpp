@@ -10,19 +10,34 @@
 //
 // With K >= N every member occupies its own slot and the schedule is the
 // per-member-task schedule exactly; smaller K trades offset granularity
-// (period / K) for O(K) queue pressure. Determinism is preserved: slot
-// assignment is a pure function of the caller-supplied jitter RNG, and
-// within a slot members run in a fixed order.
+// (period / K) for O(K) queue pressure. An explicit shardCount above the
+// member count is clamped to memberCount — extra slots could only sit empty,
+// and the clamp keeps shardCount() an honest bound on queue pressure;
+// shardCount() reports the effective (post-clamp) count. Determinism is
+// preserved: slot assignment is a pure function of the caller-supplied
+// jitter RNG, and within a slot members run in a fixed order.
+//
+// Barrier mode (startParallel): a slot firing may instead run a two-phase
+// plan → commit protocol over its members. The plan callbacks for all of a
+// slot's members are fanned out across a WorkerPool and joined — simulated
+// time never advances while workers run, so the event queue stays
+// single-threaded — and the commit callbacks then run serially in slot
+// order. Because plan callbacks are read-only against shared state (the
+// caller's contract), results are bit-identical to the serial schedule for
+// any thread count.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace avmem::sim {
 
@@ -31,6 +46,12 @@ class ShardedScheduler {
  public:
   /// Runs once per period per member; the argument is the member index.
   using MemberFn = std::function<void(std::uint32_t)>;
+  /// Barrier-mode callback: `member` is the member index, `lane` is the
+  /// member's position within its firing slot (0 .. slot size - 1). Plan
+  /// callbacks run concurrently and must be read-only against shared
+  /// state, writing results only to lane-indexed buffers; commit callbacks
+  /// run serially in lane order.
+  using PhaseFn = std::function<void(std::uint32_t member, std::size_t lane)>;
 
   ShardedScheduler() = default;
   ShardedScheduler(const ShardedScheduler&) = delete;
@@ -47,15 +68,81 @@ class ShardedScheduler {
                                    kMaxAutoShards);
   }
 
-  /// Distribute `memberCount` members over `shardCount` slots (0 = auto)
-  /// of one `period` and begin firing. Member m's phase offset is drawn
-  /// uniformly in [0, period) from `jitter` and quantized to its slot; the
-  /// slot's task first fires at now + slot * period / K, then every
-  /// period. Replaces any schedule already running.
+  /// Distribute `memberCount` members over `shardCount` slots (0 = auto;
+  /// explicit counts above memberCount clamp to memberCount — see the
+  /// header comment) of one `period` and begin firing. Member m's phase
+  /// offset is drawn uniformly in [0, period) from `jitter` and quantized
+  /// to its slot; the slot's task first fires at now + slot * period / K,
+  /// then every period. Replaces any schedule already running.
   void start(Simulator& sim, SimDuration period, std::size_t shardCount,
              std::size_t memberCount, Rng jitter, MemberFn fn) {
-    stop();
     fn_ = std::move(fn);
+    plan_ = nullptr;
+    commit_ = nullptr;
+    pool_ = nullptr;
+    startSlots(sim, period, shardCount, memberCount, jitter);
+  }
+
+  /// Barrier mode: per slot firing, run `plan` for every slot member
+  /// across `pool` (or inline when pool is null / single-lane), join, then
+  /// run `commit` for every member serially in slot order. The same
+  /// clamping, jitter, and slot assignment as start() — the firing
+  /// schedule is identical, only the intra-slot execution differs.
+  void startParallel(Simulator& sim, SimDuration period,
+                     std::size_t shardCount, std::size_t memberCount,
+                     Rng jitter, WorkerPool* pool, PhaseFn plan,
+                     PhaseFn commit) {
+    fn_ = nullptr;
+    plan_ = std::move(plan);
+    commit_ = std::move(commit);
+    pool_ = pool;
+    startSlots(sim, period, shardCount, memberCount, jitter);
+  }
+
+  /// Cancel all slot timers; safe to call repeatedly.
+  void stop() noexcept {
+    tasks_.clear();  // PeriodicTask cancels in its destructor
+    slots_.clear();
+  }
+
+  [[nodiscard]] bool running() const noexcept { return !tasks_.empty(); }
+
+  /// Number of populated slots = periodic heap entries this schedule costs.
+  [[nodiscard]] std::size_t activeShardCount() const noexcept {
+    return tasks_.size();
+  }
+  /// Effective slot count after auto-selection and the memberCount clamp.
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::size_t memberCount() const noexcept {
+    return memberCount_;
+  }
+  /// Largest slot population — the lane-buffer capacity barrier-mode
+  /// callers need for their per-member plan storage.
+  [[nodiscard]] std::size_t maxSlotPopulation() const noexcept {
+    std::size_t maxSize = 0;
+    for (const auto& slot : slots_) maxSize = std::max(maxSize, slot.size());
+    return maxSize;
+  }
+
+  /// Host wall-clock spent in barrier-mode plan phases (including the
+  /// join) since start(). The plan share of maintenance is the part
+  /// parallel dispatch scales; benches report it so the Amdahl picture
+  /// per workload is measured, not guessed.
+  [[nodiscard]] double planWallSeconds() const noexcept {
+    return static_cast<double>(planWallNs_) * 1e-9;
+  }
+  /// Host wall-clock spent in barrier-mode serial commit phases.
+  [[nodiscard]] double commitWallSeconds() const noexcept {
+    return static_cast<double>(commitWallNs_) * 1e-9;
+  }
+
+ private:
+  void startSlots(Simulator& sim, SimDuration period, std::size_t shardCount,
+                  std::size_t memberCount, Rng jitter) {
+    tasks_.clear();
+    slots_.clear();
     memberCount_ = memberCount;
     if (memberCount == 0 || period <= SimDuration::zero()) return;
 
@@ -79,37 +166,46 @@ class ShardedScheduler {
       const auto firstAt =
           sim.now() + SimDuration::micros(static_cast<std::int64_t>(
                           (periodUs * s) / shards));
-      task->start(sim, firstAt, period, [this, s] {
-        for (const std::uint32_t m : slots_[s]) fn_(m);
-      });
+      task->start(sim, firstAt, period, [this, s] { fireSlot(s); });
       tasks_.push_back(std::move(task));
     }
   }
 
-  /// Cancel all slot timers; safe to call repeatedly.
-  void stop() noexcept {
-    tasks_.clear();  // PeriodicTask cancels in its destructor
-    slots_.clear();
+  void fireSlot(std::size_t s) {
+    const std::vector<std::uint32_t>& members = slots_[s];
+    if (fn_) {
+      for (const std::uint32_t m : members) fn_(m);
+      return;
+    }
+    // Barrier mode: parallel read-only plans, then ordered serial commits.
+    using HostClock = std::chrono::steady_clock;
+    const auto t0 = HostClock::now();
+    if (pool_ != nullptr && pool_->threadCount() > 1 && members.size() > 1) {
+      pool_->run(members.size(),
+                 [this, &members](std::size_t j) { plan_(members[j], j); });
+    } else {
+      for (std::size_t j = 0; j < members.size(); ++j) plan_(members[j], j);
+    }
+    const auto t1 = HostClock::now();
+    for (std::size_t j = 0; j < members.size(); ++j) commit_(members[j], j);
+    const auto t2 = HostClock::now();
+    planWallNs_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    commitWallNs_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+            .count());
   }
 
-  [[nodiscard]] bool running() const noexcept { return !tasks_.empty(); }
-
-  /// Number of populated slots = periodic heap entries this schedule costs.
-  [[nodiscard]] std::size_t activeShardCount() const noexcept {
-    return tasks_.size();
-  }
-  [[nodiscard]] std::size_t shardCount() const noexcept {
-    return slots_.size();
-  }
-  [[nodiscard]] std::size_t memberCount() const noexcept {
-    return memberCount_;
-  }
-
- private:
   std::vector<std::vector<std::uint32_t>> slots_;
   std::vector<std::unique_ptr<PeriodicTask>> tasks_;
   MemberFn fn_;
+  PhaseFn plan_;
+  PhaseFn commit_;
+  WorkerPool* pool_ = nullptr;
   std::size_t memberCount_ = 0;
+  std::uint64_t planWallNs_ = 0;
+  std::uint64_t commitWallNs_ = 0;
 };
 
 }  // namespace avmem::sim

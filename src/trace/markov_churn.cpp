@@ -28,6 +28,7 @@ MarkovChurnModel::MarkovChurnModel(const OvernetTraceConfig& config)
     throw std::invalid_argument(
         "MarkovChurnModel: non-positive epoch duration");
   }
+  checkHorizon();
   sim::Rng root(config.seed);
   // Same fork label (and draw order) as generateOvernetTrace: host h gets
   // the same intrinsic availability here as in the materialized trace.
@@ -51,6 +52,7 @@ MarkovChurnModel::MarkovChurnModel(std::vector<double> pUp,
     throw std::invalid_argument(
         "MarkovChurnModel: non-positive epoch duration");
   }
+  checkHorizon();
   seed_ = sim::Rng(config.seed).fork("markov-cells").next();
   initChains(std::move(pUp), config.meanSessionEpochs);
 }
@@ -67,6 +69,13 @@ void MarkovChurnModel::initChains(std::vector<double> pUp,
     chains_[h].pUp = a;
     chains_[h].pOff = rates.pOff;
     chains_[h].qOn = rates.qOn;
+  }
+}
+
+void MarkovChurnModel::checkHorizon() const {
+  if (horizon_ > kMaxHorizonEpochs) {
+    throw std::invalid_argument(
+        "MarkovChurnModel: horizon exceeds the 31-bit cursor epoch field");
   }
 }
 
@@ -107,47 +116,51 @@ bool MarkovChurnModel::stateAt(const HostChain& c, std::uint64_t h,
   return on;
 }
 
-void MarkovChurnModel::advanceTo(const HostChain& c, std::uint64_t h,
-                                 std::size_t e) const {
+MarkovChurnModel::Cursor MarkovChurnModel::advanceTo(const HostChain& c,
+                                                     std::uint64_t h,
+                                                     std::size_t e) const {
+  // Work on a local copy of the loaded cursor: racing threads each
+  // compute a valid cursor from a valid cursor and publish it whole.
+  const auto cached = load(c);
   bool on;
   std::uint32_t up;
   std::size_t k;
-  if (c.cachedEpoch == kNoEpoch) {
+  if (!cached || cached->epoch > e) {
     on = nextState(c, h, 0, false);  // epoch 0 is a block start
     up = on ? 1 : 0;
     k = 0;
   } else {
-    on = c.on != 0;
-    up = c.upThrough;
-    k = c.cachedEpoch;
+    on = cached->on;
+    up = cached->up;
+    k = cached->epoch;
   }
   while (k < e) {
     ++k;
     on = nextState(c, h, k, on);
     up += on ? 1 : 0;
   }
-  c.on = on ? 1 : 0;
-  c.upThrough = up;
-  c.cachedEpoch = static_cast<std::uint32_t>(k);
+  const Cursor result{static_cast<std::uint32_t>(k), up, on};
+  c.packedCursor.store(pack(result), std::memory_order_relaxed);
+  return result;
 }
 
 bool MarkovChurnModel::onlineInEpoch(HostIndex h, std::size_t e) const {
   checkRange(h, e);
   const HostChain& c = chains_[h];
-  if (c.cachedEpoch != kNoEpoch && e < c.cachedEpoch) {
+  const auto cached = load(c);
+  if (cached && e < cached->epoch) {
     return stateAt(c, h, e);  // behind the cursor: bounded block replay
   }
-  advanceTo(c, h, e);
-  return c.on != 0;
+  return advanceTo(c, h, e).on;
 }
 
 std::uint64_t MarkovChurnModel::onlineEpochsThrough(HostIndex h,
                                                     std::size_t e) const {
   checkRange(h, e);
   const HostChain& c = chains_[h];
-  if (c.cachedEpoch == kNoEpoch || e >= c.cachedEpoch) {
-    advanceTo(c, h, e);
-    return c.upThrough;
+  const auto cached = load(c);
+  if (!cached || e >= cached->epoch) {
+    return advanceTo(c, h, e).up;
   }
   // Behind the cursor (rare: tests, retro windows): cold replay from 0
   // without disturbing the cursor. O(e), bounded by the horizon.

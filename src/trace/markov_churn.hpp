@@ -16,7 +16,10 @@
 // distribution every kBlockEpochs epochs, so a random-access query replays
 // at most one block; queries advancing with simulated time (the common
 // case) are O(1) amortized via a per-host cursor. Answers never depend on
-// query order (asserted by tests/trace/markov_churn_test.cpp).
+// query order (asserted by tests/trace/markov_churn_test.cpp), and
+// concurrent queries are safe: the cursor is one relaxed atomic word, so
+// the parallel maintenance plan phase may read the model from many
+// threads with no locks and no effect on answers.
 //
 // Model fidelity: P(online in epoch e) = p_up exactly, for every e — the
 // block re-seed preserves the stationary distribution, and long-term
@@ -26,8 +29,10 @@
 // microstructure matters.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -101,21 +106,64 @@ class MarkovChurnModel final : public AvailabilityModel {
   static constexpr std::size_t kBlockEpochs = 64;
 
  private:
+  /// Decoded cursor: the chain walked to `epoch` with `up` online epochs
+  /// in [0, epoch] and state `on` there.
+  struct Cursor {
+    std::uint32_t epoch = 0;
+    std::uint32_t up = 0;
+    bool on = false;
+  };
+
   /// Per-host chain parameters plus the forward cursor. The cursor is a
   /// cache only — every answer is a pure function of (seed, host, epoch) —
-  /// and makes time-monotone queries O(1) amortized. Not thread-safe; the
-  /// simulator is single-threaded by design.
+  /// and makes time-monotone queries O(1) amortized. It is packed into one
+  /// relaxed atomic word (31-bit epoch | on bit | 32-bit up-count) so the
+  /// parallel maintenance plan phase may query concurrently: racing
+  /// threads each load a whole valid cursor, recompute the (pure) answer,
+  /// and store another whole valid cursor — no torn state, no effect on
+  /// answers, only possibly duplicated walk work.
   struct HostChain {
     double pUp = 0.0;
     double pOff = 0.0;
     double qOn = 0.0;
-    mutable std::uint32_t cachedEpoch = kNoEpoch;  ///< last epoch walked to
-    mutable std::uint32_t upThrough = 0;  ///< online epochs in [0, cached]
-    mutable std::uint8_t on = 0;          ///< state at cachedEpoch
+    mutable std::atomic<std::uint64_t> packedCursor{kNoCursor};
+
+    HostChain() = default;
+    HostChain(const HostChain& o) noexcept
+        : pUp(o.pUp),
+          pOff(o.pOff),
+          qOn(o.qOn),
+          packedCursor(o.packedCursor.load(std::memory_order_relaxed)) {}
+    HostChain& operator=(const HostChain& o) noexcept {
+      pUp = o.pUp;
+      pOff = o.pOff;
+      qOn = o.qOn;
+      packedCursor.store(o.packedCursor.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      return *this;
+    }
   };
-  static constexpr std::uint32_t kNoEpoch = ~std::uint32_t{0};
+  static constexpr std::uint64_t kNoCursor = ~std::uint64_t{0};
+  /// Epoch field width caps the horizon (31 bits ≈ 81k years of 20-minute
+  /// epochs); the constructors reject anything larger.
+  static constexpr std::size_t kMaxHorizonEpochs = (1u << 31) - 2;
+
+  [[nodiscard]] static std::uint64_t pack(const Cursor& c) noexcept {
+    return (static_cast<std::uint64_t>(c.up) << 32) |
+           (static_cast<std::uint64_t>(c.on ? 1u : 0u) << 31) |
+           static_cast<std::uint64_t>(c.epoch);
+  }
+  [[nodiscard]] static std::optional<Cursor> load(
+      const HostChain& c) noexcept {
+    const std::uint64_t v =
+        c.packedCursor.load(std::memory_order_relaxed);
+    if (v == kNoCursor) return std::nullopt;
+    return Cursor{static_cast<std::uint32_t>(v & 0x7FFFFFFFu),
+                  static_cast<std::uint32_t>(v >> 32), ((v >> 31) & 1u) != 0};
+  }
 
   void initChains(std::vector<double> pUp, double meanSessionEpochs);
+  void checkHorizon() const;
   void checkRange(HostIndex h, std::size_t e) const;
   [[nodiscard]] double drawUniform(std::uint64_t h, std::uint64_t e) const;
   /// State in epoch `k` given the state in `k - 1` (stationary re-draw at
@@ -125,8 +173,10 @@ class MarkovChurnModel final : public AvailabilityModel {
   /// Stateless state computation: replay from the enclosing block start.
   [[nodiscard]] bool stateAt(const HostChain& c, std::uint64_t h,
                              std::size_t e) const;
-  /// Walk the cursor forward to epoch `e` (initializing it at 0 first).
-  void advanceTo(const HostChain& c, std::uint64_t h, std::size_t e) const;
+  /// Pure forward walk from `from` (or epoch 0 when absent) to epoch `e`;
+  /// publishes and returns the resulting cursor.
+  Cursor advanceTo(const HostChain& c, std::uint64_t h,
+                   std::size_t e) const;
 
   std::vector<HostChain> chains_;
   std::size_t horizon_ = 0;

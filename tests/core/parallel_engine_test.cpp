@@ -1,0 +1,148 @@
+// Parallel shard dispatch determinism: a scale scenario run with the
+// maintenance plan phase on 1, 2, and 8 threads must be bit-identical —
+// engine counters, per-node protocol counters, overlay degree histogram,
+// sliver contents, and anycast behaviour. This is the acceptance property
+// of the plan/commit protocol: plans are read-only against shared state
+// and commits apply in slot order, so the worker interleaving cannot leak
+// into results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+
+namespace avmem::core {
+namespace {
+
+/// Everything observable a run produces, in comparable form.
+struct RunFingerprint {
+  std::size_t effectiveThreads = 0;
+  MembershipEngineStats engine;
+  NodeStats nodeTotals;  ///< per-node counters summed over the population
+  std::map<std::size_t, std::size_t> degreeHistogram;
+  std::uint64_t sliverDigest = 0;  ///< order-sensitive hash of all slivers
+  std::vector<std::tuple<int, int, std::int64_t, net::NodeIndex>> anycasts;
+
+  bool operator==(const RunFingerprint& o) const {
+    return engine.discoveryRounds == o.engine.discoveryRounds &&
+           engine.refreshRounds == o.engine.refreshRounds &&
+           engine.skippedOffline == o.engine.skippedOffline &&
+           nodeTotals.discoveryRounds == o.nodeTotals.discoveryRounds &&
+           nodeTotals.refreshRounds == o.nodeTotals.refreshRounds &&
+           nodeTotals.neighborsDiscovered ==
+               o.nodeTotals.neighborsDiscovered &&
+           nodeTotals.neighborsEvicted == o.nodeTotals.neighborsEvicted &&
+           nodeTotals.availabilityQueries ==
+               o.nodeTotals.availabilityQueries &&
+           degreeHistogram == o.degreeHistogram &&
+           sliverDigest == o.sliverDigest && anycasts == o.anycasts;
+  }
+};
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+RunFingerprint runScale(std::uint32_t hosts, std::size_t threads) {
+  auto scenario = makeScaleScenario(hosts, /*seed=*/77);
+  scenario.config.maintenanceThreads = threads;
+
+  AvmemSimulation system(scenario.config);
+  system.warmup(sim::SimDuration::minutes(30));
+
+  RunFingerprint fp;
+  fp.effectiveThreads = system.maintenanceThreads();
+  fp.engine = system.membershipEngine().stats();
+  for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+    const AvmemNode& node = system.node(i);
+    const NodeStats& s = node.stats();
+    fp.nodeTotals.discoveryRounds += s.discoveryRounds;
+    fp.nodeTotals.refreshRounds += s.refreshRounds;
+    fp.nodeTotals.neighborsDiscovered += s.neighborsDiscovered;
+    fp.nodeTotals.neighborsEvicted += s.neighborsEvicted;
+    fp.nodeTotals.availabilityQueries += s.availabilityQueries;
+    ++fp.degreeHistogram[node.degree()];
+    // Order-sensitive digest over both slivers: any divergence in
+    // membership, cached availability, or entry order shows up.
+    for (const auto& entry : node.horizontalSliver().snapshot()) {
+      fp.sliverDigest = mix(fp.sliverDigest, entry.peer);
+      fp.sliverDigest =
+          mix(fp.sliverDigest,
+              static_cast<std::uint64_t>(entry.cachedAv * 1e12));
+    }
+    for (const auto& entry : node.verticalSliver().snapshot()) {
+      fp.sliverDigest = mix(fp.sliverDigest, entry.peer);
+      fp.sliverDigest =
+          mix(fp.sliverDigest,
+              static_cast<std::uint64_t>(entry.cachedAv * 1e12));
+    }
+  }
+
+  AnycastParams params;
+  params.range = AvRange::threshold(0.7);
+  params.strategy = AnycastStrategy::kRetriedGreedy;
+  const auto batch =
+      system.runAnycastBatch(AvBand::mid(), params, /*count=*/10);
+  for (const auto& r : batch.results) {
+    fp.anycasts.emplace_back(static_cast<int>(r.outcome), r.hops,
+                             r.latency.toMicros(), r.deliveredTo);
+  }
+  return fp;
+}
+
+TEST(ParallelEngineTest, ScaleRunIsThreadCountInvariant) {
+  const RunFingerprint serial = runScale(10'000, 1);
+  EXPECT_EQ(serial.effectiveThreads, 1u);
+  ASSERT_GT(serial.engine.discoveryRounds, 0u);
+  ASSERT_FALSE(serial.anycasts.empty());
+
+  RunFingerprint two = runScale(10'000, 2);
+  EXPECT_EQ(two.effectiveThreads, 2u);
+  two.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(two == serial)
+      << "threads=2 diverged from the serial run";
+
+  RunFingerprint eight = runScale(10'000, 8);
+  EXPECT_EQ(eight.effectiveThreads, 8u);
+  eight.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(eight == serial)
+      << "threads=8 diverged from the serial run";
+}
+
+TEST(ParallelEngineTest, UnsafeBackendsClampToSerial) {
+  // Paper-mode backends (AVMON service, SHA-1 memoized hash) have mutable
+  // query paths; asking for threads must clamp to 1 rather than race.
+  auto scenario = makeScenario("paper-default", {.fast = true});
+  scenario.config.maintenanceThreads = 8;
+  AvmemSimulation system(scenario.config);
+  EXPECT_EQ(system.maintenanceThreads(), 1u);
+}
+
+TEST(ParallelEngineTest, CoarseViewOverlayIsThreadCountInvariant) {
+  // The Figure-10 baseline path (adopt-the-view rounds) goes through the
+  // same plan/commit machinery; a small oracle-backed overlay run must be
+  // thread-count-invariant too.
+  auto runCoarse = [](std::size_t threads) {
+    auto scenario = makeScaleScenario(2'000, /*seed=*/9);
+    scenario.config.useCoarseViewOverlay = true;
+    scenario.config.maintenanceThreads = threads;
+    AvmemSimulation system(scenario.config);
+    system.warmup(sim::SimDuration::minutes(20));
+    std::map<std::size_t, std::size_t> degrees;
+    for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+      ++degrees[system.node(i).degree()];
+    }
+    return degrees;
+  };
+  const auto serial = runCoarse(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(runCoarse(4), serial);
+}
+
+}  // namespace
+}  // namespace avmem::core

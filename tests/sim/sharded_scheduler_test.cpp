@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -44,11 +46,25 @@ TEST(ShardedSchedulerTest, AutoShardCountIsPerMemberUpToCap) {
 }
 
 TEST(ShardedSchedulerTest, ShardCountClampsToMembers) {
+  // An explicit shardCount above the member count is clamped to
+  // memberCount (extra slots could only sit empty); shardCount() reports
+  // the effective post-clamp value, so queue-pressure accounting built on
+  // it stays honest.
   Simulator sim;
   ShardedScheduler sched;
   sched.start(sim, SimDuration::seconds(1), 64, 8, Rng(5),
               [](std::uint32_t) {});
-  EXPECT_LE(sched.shardCount(), 8u);
+  EXPECT_EQ(sched.shardCount(), 8u);
+  EXPECT_LE(sched.activeShardCount(), sched.shardCount());
+  EXPECT_EQ(sched.memberCount(), 8u);
+
+  // At or below the member count the explicit request is honored exactly.
+  sched.start(sim, SimDuration::seconds(1), 8, 8, Rng(5),
+              [](std::uint32_t) {});
+  EXPECT_EQ(sched.shardCount(), 8u);
+  sched.start(sim, SimDuration::seconds(1), 3, 8, Rng(5),
+              [](std::uint32_t) {});
+  EXPECT_EQ(sched.shardCount(), 3u);
 }
 
 TEST(ShardedSchedulerTest, DeterministicFiringSequence) {
@@ -79,6 +95,75 @@ TEST(ShardedSchedulerTest, StopCancelsAllTimers) {
   EXPECT_FALSE(sched.running());
   sim.runUntil(SimTime::seconds(10));
   EXPECT_EQ(fired, before);
+}
+
+// Record the full (time, phase, member, lane) sequence of a barrier-mode
+// schedule driven by a pool of `threads` lanes. Plans write to a
+// lane-indexed buffer (the plan-phase contract); commits append to the
+// shared sequence serially.
+std::vector<std::tuple<std::int64_t, char, std::uint32_t, std::size_t>>
+recordParallel(std::size_t threads) {
+  Simulator sim;
+  WorkerPool pool(threads);
+  ShardedScheduler sched;
+  std::vector<std::uint64_t> lanes(64, 0);
+  std::vector<std::tuple<std::int64_t, char, std::uint32_t, std::size_t>> seq;
+  sched.startParallel(
+      sim, SimDuration::seconds(2), 6, 40, Rng(11), &pool,
+      [&lanes](std::uint32_t m, std::size_t lane) {
+        lanes[lane] = Rng::stream(5, m, 0).next();  // plan: lane-local only
+      },
+      [&](std::uint32_t m, std::size_t lane) {
+        seq.emplace_back(sim.now().toMicros(), 'c', m, lane);
+        ASSERT_EQ(lanes[lane], Rng::stream(5, m, 0).next());
+      });
+  sim.runUntil(SimTime::seconds(10));
+  return seq;
+}
+
+TEST(ShardedSchedulerTest, BarrierModeMatchesAnyThreadCount) {
+  const auto serial = recordParallel(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(recordParallel(2), serial);
+  EXPECT_EQ(recordParallel(8), serial);
+}
+
+TEST(ShardedSchedulerTest, BarrierModeFiringScheduleMatchesSerialMode) {
+  // Same period/shards/jitter: the slot assignment and firing times are
+  // identical whether the slot body is the serial MemberFn or plan/commit.
+  auto recordSerial = [] {
+    Simulator sim;
+    ShardedScheduler sched;
+    std::vector<std::pair<std::int64_t, std::uint32_t>> seq;
+    sched.start(sim, SimDuration::seconds(2), 6, 40, Rng(11),
+                [&seq, &sim](std::uint32_t m) {
+                  seq.emplace_back(sim.now().toMicros(), m);
+                });
+    sim.runUntil(SimTime::seconds(10));
+    return seq;
+  };
+  const auto serial = recordSerial();
+  const auto parallel = recordParallel(4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(std::get<0>(parallel[i]), serial[i].first);
+    EXPECT_EQ(std::get<2>(parallel[i]), serial[i].second);
+  }
+}
+
+TEST(ShardedSchedulerTest, MaxSlotPopulationBoundsLaneBuffers) {
+  Simulator sim;
+  ShardedScheduler sched;
+  std::size_t maxLane = 0;
+  sched.startParallel(
+      sim, SimDuration::seconds(1), 4, 100, Rng(3), nullptr,
+      [](std::uint32_t, std::size_t) {},
+      [&maxLane](std::uint32_t, std::size_t lane) {
+        maxLane = std::max(maxLane, lane);
+      });
+  EXPECT_GE(sched.maxSlotPopulation(), 1u);
+  sim.runUntil(SimTime::seconds(1));
+  EXPECT_LT(maxLane, sched.maxSlotPopulation());
 }
 
 TEST(ShardedSchedulerTest, EmptyPopulationSchedulesNothing) {

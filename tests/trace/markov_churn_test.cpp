@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -153,6 +155,50 @@ TEST(MarkovChurnTest, RangeChecksMatchRecordedBackends) {
   EXPECT_THROW((void)model.fullAvailability(9), std::out_of_range);
   // Times past the horizon clamp, like a recorded trace's final state.
   EXPECT_NO_THROW((void)model.onlineAt(0, sim::SimDuration::days(400)));
+}
+
+TEST(MarkovChurnTest, ConcurrentQueriesMatchSerialAnswers) {
+  // The parallel maintenance plan phase queries the model from many
+  // threads at once; the per-host cursor is a relaxed atomic word, so
+  // racing queries must stay data-race-free (ThreadSanitizer checks this
+  // in CI) and return exactly the serial answers.
+  std::vector<double> pUp;
+  sim::Rng rng(404);
+  for (int h = 0; h < 64; ++h) pUp.push_back(0.05 + 0.9 * rng.uniform());
+  const MarkovChurnModel model(pUp, smallConfig(256));
+
+  // Serial ground truth, computed on a fresh identical model so the
+  // shared model's cursors start cold for the concurrent phase.
+  const MarkovChurnModel reference(pUp, smallConfig(256));
+  std::vector<std::uint8_t> online(64 * 256);
+  std::vector<std::uint64_t> through(64 * 256);
+  for (HostIndex h = 0; h < 64; ++h) {
+    for (std::size_t e = 0; e < 256; ++e) {
+      online[h * 256 + e] = reference.onlineInEpoch(h, e) ? 1 : 0;
+      through[h * 256 + e] = reference.onlineEpochsThrough(h, e);
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&model, &online, &through, &mismatches, t] {
+      // Each thread queries every host in a different epoch pattern, so
+      // threads collide on the same hosts while moving cursors forward,
+      // backward, and randomly.
+      sim::Rng order(1000 + t);
+      for (int iter = 0; iter < 2000; ++iter) {
+        const auto h = static_cast<HostIndex>(order.below(64));
+        const auto e = static_cast<std::size_t>(order.below(256));
+        if (model.onlineInEpoch(h, e) != (online[h * 256 + e] != 0) ||
+            model.onlineEpochsThrough(h, e) != through[h * 256 + e]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(MarkovChurnTest, RejectsMalformedConfig) {

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Assert two scale_sweep --json outputs are stat-identical.
+
+Usage: check_thread_invariance.py A.json B.json
+
+Parallel plan dispatch must not change any simulation-visible statistic —
+only wall-clock fields (build_s, warmup_s, events_per_s, batch_s) and the
+reported thread count may differ between runs. CI runs the smoke sweep at
+threads=1 and threads=4 and gates on this script.
+"""
+import json
+import sys
+
+INVARIANT_KEYS = (
+    "n",
+    "backend",
+    "model_mb",
+    "warmup_sim_h",
+    "events",
+    "maint_timers",
+    "mean_degree",
+    "anycasts",
+    "delivered_fraction",
+)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    runs = []
+    for path in sys.argv[1:3]:
+        with open(path, encoding="utf-8") as f:
+            runs.append(json.load(f))
+    a, b = (run["points"] for run in runs)
+    if len(a) != len(b):
+        print(f"point count differs: {len(a)} vs {len(b)}", file=sys.stderr)
+        return 1
+    failures = 0
+    for i, (pa, pb) in enumerate(zip(a, b)):
+        for key in INVARIANT_KEYS:
+            if pa[key] != pb[key]:
+                print(
+                    f"point {i} ({pa['n']} nodes): '{key}' diverged: "
+                    f"{pa[key]} (threads={pa['threads']}) vs "
+                    f"{pb[key]} (threads={pb['threads']})",
+                    file=sys.stderr,
+                )
+                failures += 1
+    if failures:
+        return 1
+    print(
+        f"{len(a)} point(s) stat-identical across threads="
+        f"{a[0]['threads']} and threads={b[0]['threads']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
