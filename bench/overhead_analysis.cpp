@@ -79,6 +79,21 @@ int main() {
   measured.addRow({perNodeBps, meanMemKb, discoveriesPerNodeHour});
   measured.print(std::cout, 3);
 
+  // Wire outcome breakdown: `rejected` (receiver-side verification said
+  // no) is now counted separately from `dropped_offline` (receiver dead
+  // at the delivery instant), so non-cooperation overhead and churn loss
+  // are no longer conflated.
+  std::cout << "# wire outcomes (message counts over the whole run)\n";
+  stats::TablePrinter wire({"sent", "delivered", "rejected",
+                            "dropped_offline", "acks", "ack_timeouts"});
+  wire.addRow({static_cast<double>(net.sent),
+               static_cast<double>(net.delivered),
+               static_cast<double>(net.rejected),
+               static_cast<double>(net.droppedOffline),
+               static_cast<double>(net.acksSent),
+               static_cast<double>(net.ackTimeouts)});
+  wire.print(std::cout, 0);
+
   std::cout << "# note: measured bandwidth covers shuffling + operations; "
                "availability queries are accounted by the monitoring "
                "substrate\n";

@@ -32,6 +32,9 @@
 //                         (default: the scenario's choice, markov)
 //   AVMEM_THREADS         maintenance plan-phase threads
 //                         (default 0 = every core; 1 = serial)
+//   AVMEM_SHUFFLE_PERIOD_S  override the shuffle period in seconds — small
+//                         values make the run gossip-dominated (CI uses
+//                         this to gate the batched shuffle path)
 //   AVMEM_FAST=1          smoke footprint: "2000" nodes, 30 min warm-up
 #include <chrono>
 #include <cstdlib>
@@ -95,7 +98,10 @@ struct PointResult {
   double eventsPerS = 0.0;
   double planS = 0.0;    ///< warm-up wall in the parallelizable plan phase
   double commitS = 0.0;  ///< warm-up wall in the serial commit phase
+  double planShare = 0.0;  ///< planS / warmupS — the Amdahl-scalable part
   std::size_t maintTimers = 0;
+  std::uint64_t completedShuffles = 0;
+  std::uint64_t viewDigest = 0;  ///< order-sensitive hash over all views
   double meanDegree = 0.0;
   std::size_t anycasts = 0;
   double deliveredFraction = 0.0;
@@ -120,7 +126,10 @@ void writeJson(const std::string& path, const std::vector<PointResult>& points,
         << ", \"events\": " << p.events
         << ", \"events_per_s\": " << p.eventsPerS
         << ", \"plan_s\": " << p.planS << ", \"commit_s\": " << p.commitS
+        << ", \"plan_share\": " << p.planShare
         << ", \"maint_timers\": " << p.maintTimers
+        << ", \"completed_shuffles\": " << p.completedShuffles
+        << ", \"view_digest\": " << p.viewDigest
         << ", \"mean_degree\": " << p.meanDegree
         << ", \"anycasts\": " << p.anycasts
         << ", \"delivered_fraction\": " << p.deliveredFraction
@@ -163,14 +172,29 @@ int main(int argc, char** argv) {
             << (backend ? core::traceBackendName(*backend) : "markov")
             << " availability backend\n";
   std::cout << "# n backend threads model_mb build_s warmup_s warmup_sim_h "
-               "events events_per_s plan_s commit_s maint_timers "
-               "mean_degree anycasts delivered batch_s\n";
+               "events events_per_s plan_s commit_s plan_share maint_timers "
+               "completed_shuffles view_digest mean_degree anycasts "
+               "delivered batch_s\n";
+
+  std::optional<std::int64_t> shufflePeriodS;
+  if (const char* sp = std::getenv("AVMEM_SHUFFLE_PERIOD_S"); sp != nullptr) {
+    const auto v = std::strtol(sp, nullptr, 10);
+    if (v > 0) {
+      shufflePeriodS = v;
+    } else {
+      std::cerr << "scale_sweep: ignoring AVMEM_SHUFFLE_PERIOD_S='" << sp
+                << "' (need a positive integer)\n";
+    }
+  }
 
   std::vector<PointResult> points;
   for (const std::uint32_t n : populationSizes(fast)) {
     auto scenario = core::makeScaleScenario(n, seed);
     if (fast) scenario.warmup = sim::SimDuration::minutes(30);
     if (backend) scenario.config.traceBackend = *backend;
+    if (shufflePeriodS) {
+      scenario.config.shuffle.period = sim::SimDuration::seconds(*shufflePeriodS);
+    }
     std::cerr << "building " << scenario.name << " ("
               << core::traceBackendName(scenario.config.traceBackend)
               << " availability backend)...\n";
@@ -188,8 +212,12 @@ int main(int argc, char** argv) {
     system.warmup(scenario.warmup);
     const double warmupS = secondsSince(tWarm);
     const std::uint64_t warmupEvents = system.simulator().executedEvents();
-    const double planS = system.membershipEngine().planWallSeconds();
-    const double commitS = system.membershipEngine().commitWallSeconds();
+    // Plan/commit walls aggregate discovery + refresh + the batched
+    // shuffle exchanges (all three ride the same barrier-mode wheel).
+    const double planS = system.membershipEngine().planWallSeconds() +
+                         system.shuffleService().planWallSeconds();
+    const double commitS = system.membershipEngine().commitWallSeconds() +
+                           system.shuffleService().commitWallSeconds();
 
     // Mean degree over a fixed-size sample (full scans are O(N) and tell
     // the same story).
@@ -205,6 +233,10 @@ int main(int argc, char** argv) {
     // the engine keeps in the queue, independent of N.
     const std::size_t maintTimers =
         system.membershipEngine().scheduledTimerCount();
+
+    // Order-sensitive digest over every coarse view: the thread-matrix CI
+    // diff turns any shuffle divergence into a failure.
+    const std::uint64_t viewDigest = system.shuffleService().viewDigest();
 
     std::cerr << "anycast batch...\n";
     core::AnycastParams params;
@@ -229,7 +261,10 @@ int main(int argc, char** argv) {
                        : 0.0;
     p.planS = planS;
     p.commitS = commitS;
+    p.planShare = warmupS > 0.0 ? planS / warmupS : 0.0;
     p.maintTimers = maintTimers;
+    p.completedShuffles = system.shuffleService().completedShuffles();
+    p.viewDigest = viewDigest;
     p.meanDegree = degree;
     p.anycasts = batch.count();
     p.deliveredFraction = batch.deliveredFraction();
@@ -239,9 +274,10 @@ int main(int argc, char** argv) {
     std::cout << p.n << " " << p.backend << " " << p.threads << " "
               << p.modelMb << " " << p.buildS << " " << p.warmupS << " "
               << p.warmupSimH << " " << p.events << " " << p.eventsPerS
-              << " " << p.planS << " " << p.commitS << " " << p.maintTimers
-              << " " << p.meanDegree << " " << p.anycasts << " "
-              << p.deliveredFraction << " " << p.batchS << "\n";
+              << " " << p.planS << " " << p.commitS << " " << p.planShare
+              << " " << p.maintTimers << " " << p.completedShuffles << " "
+              << p.viewDigest << " " << p.meanDegree << " " << p.anycasts
+              << " " << p.deliveredFraction << " " << p.batchS << "\n";
   }
   if (jsonPath) writeJson(*jsonPath, points, seed);
   return 0;

@@ -11,38 +11,71 @@
 // picks a random view entry, and the two swap random subsets of their views
 // over the simulated network. Unreachable partners (offline at delivery)
 // are evicted, which purges dead entries over time. View size defaults to
-// ~sqrt(N), the optimum derived in the paper (v + N/v minimized).
+// ~sqrt(N), the optimum derived in the paper (v + N/v minimized), clamped
+// to the population (a view cannot hold more than N-1 distinct peers).
+//
+// Both halves of the exchange follow the plan/commit parallel-dispatch
+// architecture (docs/ARCHITECTURE.md "Parallel dispatch"):
+//
+//  * Initiation: a scheduler slot firing plans every member's exchange —
+//    partner choice and offered-subset sampling from counter-based
+//    `Rng::stream`s, read-only against shared state — fanned across the
+//    worker pool, then a serial commit enqueues the planned requests in
+//    slot order onto the typed batched message queue
+//    (net/shuffle_channel.hpp).
+//  * Delivery: the channel drains every record due at a (quantized)
+//    instant as one batch; deliveries group by the node they mutate, the
+//    per-node group plans (reply sampling, merges, evictions — randomness
+//    from per-exchange counter streams) fan across the pool, and a serial
+//    commit installs the new views in deterministic group order.
+//
+// Results are bit-identical for any thread count. Views are kept sorted:
+// merge membership tests are binary searches instead of O(viewSize) scans.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/shuffle_channel.hpp"
 #include "sim/random.hpp"
 #include "sim/sharded_scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace avmem::avmon {
 
 /// Configuration for the shuffle service.
 struct ShuffleConfig {
   /// Per-node view capacity; 0 means "use ceil(sqrt(N))" (paper optimum).
+  /// Clamped to N-1 (the number of distinct non-self peers that exist).
   std::size_t viewSize = 0;
-  /// Entries exchanged per shuffle.
+  /// Entries exchanged per shuffle; must be >= 1 (the initiator always
+  /// advertises at least itself).
   std::size_t gossipLength = 8;
   /// How often each online node initiates a shuffle.
   sim::SimDuration period = sim::SimDuration::minutes(1);
   /// Timing-wheel slots for the initiation schedule; 0 = auto.
   std::size_t shards = 0;
+  /// How long an initiator waits for the partner's ack before evicting it.
+  sim::SimDuration ackTimeout = sim::SimDuration::millis(500);
+  /// Delivery grid for the typed message queue: instants round *up* onto
+  /// this quantum so records coalesce into batches the drain can plan in
+  /// parallel. 0 = exact delivery instants (no batching beyond ties).
+  sim::SimDuration deliveryQuantum = sim::SimDuration::millis(20);
 };
 
 /// Owns every node's coarse view and drives the periodic exchanges.
-class ShuffleService {
+class ShuffleService final : public net::ShuffleSink {
  public:
+  /// `pool` (optional) fans the plan phases (initiation and delivery
+  /// batches) across worker threads; results are identical at any thread
+  /// count (the caller gates pool use on its online oracle being
+  /// concurrency-safe, as for MembershipEngine).
   ShuffleService(sim::Simulator& sim, net::Network& network,
                  std::size_t nodeCount, const ShuffleConfig& config,
-                 sim::Rng rng);
+                 sim::Rng rng, sim::WorkerPool* pool = nullptr);
 
   ShuffleService(const ShuffleService&) = delete;
   ShuffleService& operator=(const ShuffleService&) = delete;
@@ -53,8 +86,8 @@ class ShuffleService {
   /// the event load is spread.
   void start();
 
-  /// The current coarse view of node `n` (may contain stale entries;
-  /// never contains `n` itself).
+  /// The current coarse view of node `n`, sorted ascending (may contain
+  /// stale entries; never contains `n` itself).
   [[nodiscard]] const std::vector<net::NodeIndex>& viewOf(
       net::NodeIndex n) const {
     return views_.at(n);
@@ -70,24 +103,105 @@ class ShuffleService {
     return completedShuffles_;
   }
 
+  /// Order-sensitive digest over every view (sizes, entries, node order):
+  /// any divergence in shuffle outcomes shows up. The thread-invariance
+  /// gates (parallel_engine_test, the CI scale-sweep JSON diff) compare
+  /// this one implementation so they cannot drift apart.
+  [[nodiscard]] std::uint64_t viewDigest() const noexcept;
+
+  /// Host wall-clock spent in the parallelizable plan phases — initiation
+  /// slot firings plus delivery-batch group planning — since start().
+  [[nodiscard]] double planWallSeconds() const noexcept {
+    return schedule_.planWallSeconds() +
+           static_cast<double>(drainPlanNs_) * 1e-9;
+  }
+  /// Host wall-clock spent in the serial commit phases (request enqueue,
+  /// view installs, outcome assembly).
+  [[nodiscard]] double commitWallSeconds() const noexcept {
+    return schedule_.commitWallSeconds() +
+           static_cast<double>(drainCommitNs_) * 1e-9;
+  }
+
+  // --- net::ShuffleSink (typed channel deliveries; event-loop context) ----
+
+  void onShuffleBatch(
+      std::span<const net::ShuffleDelivery> batch,
+      std::vector<net::ShuffleRequestOutcome>& outcomes) override;
+
  private:
-  void initiateShuffle(net::NodeIndex initiator);
-  void handleRequest(net::NodeIndex responder, net::NodeIndex initiator,
-                     std::vector<net::NodeIndex> offered);
-  void handleReply(net::NodeIndex initiator, net::NodeIndex responder,
-                   std::vector<net::NodeIndex> offered,
-                   std::vector<net::NodeIndex> sent);
+  /// One planned initiation, produced read-only in the slot plan phase
+  /// and applied by the serial commit pass. Lane buffers are reused
+  /// across slot firings (reset keeps the offered capacity).
+  struct ExchangePlan {
+    bool active = false;
+    net::NodeIndex partner = 0;
+    /// Sampled view subset plus the trailing self-entry (CYCLON: the
+    /// initiator always advertises itself).
+    std::vector<net::NodeIndex> offered;
 
-  /// Pick up to `gossipLength_` random entries of `n`'s view plus `n`
-  /// itself (CYCLON always advertises the sender).
-  [[nodiscard]] std::vector<net::NodeIndex> sampleSubset(net::NodeIndex n);
+    void reset() noexcept {
+      active = false;
+      offered.clear();
+    }
+  };
 
-  /// Merge `offered` into `n`'s view: fill free slots, then overwrite the
-  /// entries `n` itself just sent away, then random-evict.
-  void merge(net::NodeIndex n, const std::vector<net::NodeIndex>& offered,
-             const std::vector<net::NodeIndex>& sentAway);
+  /// All deliveries of one batch that mutate the same node, plus that
+  /// group's plan outputs. Buffers are reused across batches.
+  struct DeliveryGroup {
+    net::NodeIndex node = 0;
+    std::uint32_t completed = 0;        ///< requests answered (plan count)
+    std::vector<std::uint32_t> records; ///< batch indices, batch order
+    std::vector<net::NodeIndex> view;   ///< working copy → installed
+    std::vector<net::NodeIndex> replyPool;  ///< concatenated reply samples
+    /// Per request in this group (batch order): (offset, length) into
+    /// replyPool.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> replySpans;
+    std::vector<net::NodeIndex> scratch;  ///< sampling scratch
 
-  void evictEntry(net::NodeIndex n, net::NodeIndex dead);
+    void reset(net::NodeIndex n) noexcept {
+      node = n;
+      completed = 0;
+      records.clear();
+      view.clear();
+      replyPool.clear();
+      replySpans.clear();
+    }
+  };
+
+  /// Initiation plan phase: read-only against shared state (own view,
+  /// online oracle, counter-based RNG stream); writes only the lane
+  /// buffer.
+  void planExchange(net::NodeIndex initiator, std::size_t lane);
+  /// Initiation commit phase: serial, slot order — enqueue the planned
+  /// request onto the typed channel (latency sampling and accounting
+  /// happen here, in deterministic order).
+  void commitExchange(net::NodeIndex initiator, std::size_t lane);
+
+  /// Delivery plan phase for one group: replay the group's deliveries in
+  /// batch order against a working copy of the node's view. Read-only
+  /// against shared state; writes only `group`'s buffers.
+  void planGroup(std::span<const net::ShuffleDelivery> batch,
+                 DeliveryGroup& group) const;
+
+  /// Uniformly sample up to `maxTake` entries of `view` into `out`
+  /// without mutating the view (partial Fisher-Yates over a copy).
+  static void sampleSubsetInto(const std::vector<net::NodeIndex>& view,
+                               std::size_t maxTake, sim::Rng& rng,
+                               std::vector<net::NodeIndex>& out);
+
+  /// Merge `offered` into the sorted `view` of node `self` (capacity
+  /// `capacity`): skip entries already present, fill free slots, then
+  /// overwrite the entries `self` just sent away (they live on at the
+  /// partner), then random-evict with `rng`.
+  static void mergeInto(std::vector<net::NodeIndex>& view,
+                        net::NodeIndex self, std::size_t capacity,
+                        std::span<const net::NodeIndex> offered,
+                        std::span<const net::NodeIndex> sentAway,
+                        sim::Rng& rng);
+
+  /// Remove `dead` from the sorted `view` if present.
+  static void eraseSorted(std::vector<net::NodeIndex>& view,
+                          net::NodeIndex dead);
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -96,8 +210,21 @@ class ShuffleService {
   sim::SimDuration period_;
   std::size_t shards_;
   sim::Rng rng_;
-  std::vector<std::vector<net::NodeIndex>> views_;
+  sim::WorkerPool* pool_;
+  std::vector<std::vector<net::NodeIndex>> views_;  ///< each sorted ascending
+  net::ShuffleChannel channel_;
   sim::ShardedScheduler schedule_;
+  std::vector<ExchangePlan> lanes_;    ///< indexed by slot lane
+  std::vector<std::uint32_t> rounds_;  ///< per-node Rng::stream counter
+  std::uint64_t planSeed_ = 0;  ///< initiation streams: (node, round)
+  std::uint64_t wireSeed_ = 0;  ///< delivery streams: (request seq, leg)
+  /// Delivery-batch scratch, reused across drains.
+  std::vector<DeliveryGroup> groups_;
+  std::vector<std::uint32_t> orderScratch_;
+  std::vector<std::uint32_t> groupOf_;
+  std::vector<std::uint32_t> groupCursor_;
+  std::uint64_t drainPlanNs_ = 0;
+  std::uint64_t drainCommitNs_ = 0;
   std::uint64_t completedShuffles_ = 0;
 };
 

@@ -186,13 +186,6 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
     nodes_.emplace_back(i, *ctx_);
   }
 
-  avmon::ShuffleConfig shuffleConfig = config.shuffle;
-  if (shuffleConfig.shards == 0) {
-    shuffleConfig.shards = config.maintenanceShards;
-  }
-  shuffle_ = std::make_unique<avmon::ShuffleService>(
-      *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"));
-
   // Parallel shard dispatch: the maintenance plan phase may fan out
   // across a worker pool, but only when every shared read on that path is
   // concurrency-safe — the service and hasher declare their capability,
@@ -209,6 +202,16 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   if (threads > 1) {
     pool_ = std::make_unique<sim::WorkerPool>(threads);
   }
+
+  // The shuffle service shares the pool: its plan phase reads only the
+  // node's own view, the churn oracle (concurrency-safe in every trace
+  // backend), and counter-based RNG streams.
+  avmon::ShuffleConfig shuffleConfig = config.shuffle;
+  if (shuffleConfig.shards == 0) {
+    shuffleConfig.shards = config.maintenanceShards;
+  }
+  shuffle_ = std::make_unique<avmon::ShuffleService>(
+      *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"), pool_.get());
 
   // Maintenance: the engine owns discovery/refresh for every node over a
   // sharded schedule — O(shards) timers in the event queue, not O(nodes).

@@ -10,8 +10,13 @@
 //    request/ack exchange with a timeout (retried-greedy anycast relies on
 //    this, paper Section 3.2).
 //
-// The network also keeps global accounting (sent / delivered / dropped /
-// bytes) used by the overhead analyses.
+// The network also keeps global accounting (sent / delivered / rejected /
+// dropped / bytes) used by the overhead analyses.
+//
+// High-volume gossip traffic has a second, typed lane: the batched POD
+// message queue in net/shuffle_channel.hpp, which shares this network's
+// latency model, online gating, and stats but allocates no closures per
+// message (see that header).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +42,12 @@ using OnlineOracle = std::function<bool(NodeIndex)>;
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  /// Reached an online receiver that refused the message (receiver-side
+  /// verification failure). Rejected messages are *also* counted in
+  /// `delivered` — the wire delivered them — so existing columns keep
+  /// their meaning; this counter lets the overhead analyses separate
+  /// "receiver said no" from `droppedOffline` silence.
+  std::uint64_t rejected = 0;
   std::uint64_t droppedOffline = 0;
   std::uint64_t acksSent = 0;
   std::uint64_t ackTimeouts = 0;
@@ -112,6 +123,7 @@ class Network {
       }
       ++stats_.delivered;
       if (!fnDeliver(sim_.now())) {
+        ++stats_.rejected;
         return;  // receiver rejected: no ack; the timeout will fire
       }
       // Ack travels back with an independent latency sample.
@@ -141,6 +153,11 @@ class Network {
   static constexpr std::size_t kMembershipEntryBytes = 20;
 
  private:
+  /// The typed batched-message lane (net/shuffle_channel.hpp) shares this
+  /// network's latency model, online oracle, and stats so both paths
+  /// account identically.
+  friend class ShuffleChannel;
+
   sim::Simulator& sim_;
   OnlineOracle online_;
   std::unique_ptr<LatencyModel> latency_;

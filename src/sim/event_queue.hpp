@@ -56,8 +56,27 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
-  /// Timestamp of the earliest pending event; requires !empty().
+  /// Timestamp of the earliest pending event; requires !empty(). May
+  /// report a lazily-cancelled event's time — callers that gate on "is
+  /// there work before T" must use nextLiveTime() instead.
   [[nodiscard]] SimTime nextTime() const { return heap_.front().at; }
+
+  /// Timestamp of the earliest *live* event, discarding cancelled heads
+  /// on the way (they would be skipped by popNext anyway). Returns false
+  /// if nothing live remains. Without this, a cancelled head makes a
+  /// horizon check like `nextTime() <= until` pass and the following pop
+  /// silently runs a later event past the horizon.
+  [[nodiscard]] bool nextLiveTime(SimTime& at) {
+    while (!heap_.empty()) {
+      if (*heap_.front().alive) {
+        at = heap_.front().at;
+        return true;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+    return false;
+  }
 
   /// Pop and return the earliest event, skipping cancelled ones.
   /// Returns false if the queue drained.

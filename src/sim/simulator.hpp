@@ -53,8 +53,11 @@ class Simulator {
 
   /// Run until the queue drains or the clock passes `until` (events at
   /// exactly `until` still run). The clock is left at min(until, last event).
+  /// Gates on the next *live* event: a lazily-cancelled head (e.g. a
+  /// rearmed channel wake) must not let a later event run past `until`.
   void runUntil(SimTime until) {
-    while (!queue_.empty() && queue_.nextTime() <= until) {
+    SimTime next;
+    while (queue_.nextLiveTime(next) && next <= until) {
       step();
     }
     if (now_ < until) now_ = until;

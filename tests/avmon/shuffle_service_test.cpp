@@ -109,5 +109,73 @@ TEST_F(ShuffleTest, RequiresTwoNodes) {
                std::invalid_argument);
 }
 
+TEST_F(ShuffleTest, ViewSizeClampsToPopulation) {
+  // Regression: viewSize >= nodeCount used to spin the bootstrap loop
+  // forever (it can never find that many distinct non-self peers). The
+  // ctor must clamp to N-1 and bootstrap every view to exactly that.
+  build(/*viewSize=*/kNodes + 50);
+  EXPECT_EQ(service_->viewCapacity(), kNodes - 1);
+  service_->start();
+  for (net::NodeIndex i = 0; i < kNodes; ++i) {
+    const auto& view = service_->viewOf(i);
+    EXPECT_EQ(view.size(), kNodes - 1);
+    std::set<net::NodeIndex> uniq(view.begin(), view.end());
+    EXPECT_EQ(uniq.size(), view.size());
+    EXPECT_FALSE(uniq.contains(i));
+  }
+  // The clamped configuration must also actually run.
+  sim_.runUntil(sim::SimTime::minutes(30));
+  EXPECT_GT(service_->completedShuffles(), 0u);
+}
+
+TEST_F(ShuffleTest, ZeroGossipLengthIsRejected) {
+  // Regression: gossipLength == 0 underflowed `gossipLength - 1` and
+  // shipped the entire view (plus self) every exchange, inflating byte
+  // accounting. It is a configuration error and must throw.
+  ShuffleConfig cfg;
+  cfg.gossipLength = 0;
+  net::Network net(
+      sim_, [](net::NodeIndex) { return true; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(1)),
+      sim::Rng(1));
+  EXPECT_THROW(ShuffleService(sim_, net, 16, cfg, sim::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST_F(ShuffleTest, LateRepliesStillMergeAfterTimeoutEviction) {
+  // Per-hop latency far above the ack timeout: every exchange times out
+  // (the initiator evicts its partner before the ack can land), yet every
+  // reply arrives later and must still merge. If late replies were
+  // dropped, each round would only shrink views (evict one, merge
+  // nothing) and they would drain to empty within a few rounds.
+  network_ = std::make_unique<net::Network>(
+      sim_, [this](net::NodeIndex n) { return online_[n]; },
+      std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(400)),
+      sim::Rng(2));
+  ShuffleConfig cfg;
+  cfg.viewSize = 4;
+  cfg.gossipLength = 4;
+  cfg.period = sim::SimDuration::minutes(1);
+  cfg.ackTimeout = sim::SimDuration::millis(500);  // < 2 * 400 ms
+  service_ = std::make_unique<ShuffleService>(sim_, *network_, kNodes, cfg,
+                                              sim::Rng(3));
+  service_->start();
+  sim_.runUntil(sim::SimTime::hours(2));
+
+  const auto& stats = network_->stats();
+  EXPECT_GT(stats.ackTimeouts, 100u);              // every exchange timed out
+  EXPECT_GT(stats.acksSent, 100u);                 // acks were sent, too late
+  EXPECT_GT(service_->completedShuffles(), 100u);  // requests still landed
+  for (net::NodeIndex i = 0; i < kNodes; ++i) {
+    const auto& view = service_->viewOf(i);
+    EXPECT_FALSE(view.empty()) << "view of " << i
+                               << " drained: late replies were lost";
+    EXPECT_LE(view.size(), 4u);
+    EXPECT_EQ(std::count(view.begin(), view.end(), i), 0);
+    std::set<net::NodeIndex> uniq(view.begin(), view.end());
+    EXPECT_EQ(uniq.size(), view.size());
+  }
+}
+
 }  // namespace
 }  // namespace avmem::avmon

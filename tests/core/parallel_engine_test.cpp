@@ -25,6 +25,9 @@ struct RunFingerprint {
   NodeStats nodeTotals;  ///< per-node counters summed over the population
   std::map<std::size_t, std::size_t> degreeHistogram;
   std::uint64_t sliverDigest = 0;  ///< order-sensitive hash of all slivers
+  std::uint64_t viewDigest = 0;    ///< order-sensitive hash of all views
+  std::uint64_t completedShuffles = 0;
+  net::NetworkStats net;  ///< wire traffic, byte-exact
   std::vector<std::tuple<int, int, std::int64_t, net::NodeIndex>> anycasts;
 
   bool operator==(const RunFingerprint& o) const {
@@ -39,7 +42,14 @@ struct RunFingerprint {
            nodeTotals.availabilityQueries ==
                o.nodeTotals.availabilityQueries &&
            degreeHistogram == o.degreeHistogram &&
-           sliverDigest == o.sliverDigest && anycasts == o.anycasts;
+           sliverDigest == o.sliverDigest && viewDigest == o.viewDigest &&
+           completedShuffles == o.completedShuffles &&
+           net.sent == o.net.sent && net.delivered == o.net.delivered &&
+           net.rejected == o.net.rejected &&
+           net.droppedOffline == o.net.droppedOffline &&
+           net.acksSent == o.net.acksSent &&
+           net.ackTimeouts == o.net.ackTimeouts &&
+           net.bytesSent == o.net.bytesSent && anycasts == o.anycasts;
   }
 };
 
@@ -83,6 +93,10 @@ RunFingerprint runScale(std::uint32_t hosts, std::size_t threads) {
     }
   }
 
+  fp.viewDigest = system.shuffleService().viewDigest();
+  fp.completedShuffles = system.shuffleService().completedShuffles();
+  fp.net = system.network().stats();
+
   AnycastParams params;
   params.range = AvRange::threshold(0.7);
   params.strategy = AnycastStrategy::kRetriedGreedy;
@@ -121,6 +135,47 @@ TEST(ParallelEngineTest, UnsafeBackendsClampToSerial) {
   scenario.config.maintenanceThreads = 8;
   AvmemSimulation system(scenario.config);
   EXPECT_EQ(system.maintenanceThreads(), 1u);
+}
+
+TEST(ParallelEngineTest, ShuffleHeavyRunIsThreadCountInvariant) {
+  // Gossip-dominated workload: the shuffle fires every 15 s (vs the
+  // 1-minute default), so the batched plan/commit exchange path — partner
+  // choice and subset sampling from counter streams in initiation plans,
+  // per-node merge groups planned across the pool at delivery batches —
+  // carries most of the run. View digests, shuffle counts, and the
+  // byte-exact wire stats must not depend on the thread count.
+  auto runShuffleHeavy = [](std::size_t threads) {
+    auto scenario = makeScaleScenario(2'000, /*seed=*/41);
+    scenario.config.shuffle.period = sim::SimDuration::seconds(15);
+    scenario.config.maintenanceThreads = threads;
+    AvmemSimulation system(scenario.config);
+    system.warmup(sim::SimDuration::minutes(15));
+
+    RunFingerprint fp;
+    fp.effectiveThreads = system.maintenanceThreads();
+    fp.viewDigest = system.shuffleService().viewDigest();
+    fp.completedShuffles = system.shuffleService().completedShuffles();
+    fp.net = system.network().stats();
+    for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+      ++fp.degreeHistogram[system.node(i).degree()];
+    }
+    return fp;
+  };
+
+  const RunFingerprint serial = runShuffleHeavy(1);
+  EXPECT_EQ(serial.effectiveThreads, 1u);
+  ASSERT_GT(serial.completedShuffles, 0u);
+  ASSERT_GT(serial.net.ackTimeouts, 0u);  // churn makes some partners dead
+
+  RunFingerprint two = runShuffleHeavy(2);
+  EXPECT_EQ(two.effectiveThreads, 2u);
+  two.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(two == serial) << "threads=2 diverged from the serial run";
+
+  RunFingerprint eight = runShuffleHeavy(8);
+  EXPECT_EQ(eight.effectiveThreads, 8u);
+  eight.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(eight == serial) << "threads=8 diverged from the serial run";
 }
 
 TEST(ParallelEngineTest, CoarseViewOverlayIsThreadCountInvariant) {

@@ -105,6 +105,22 @@ TEST_F(NetworkTest, TimeoutFiresWhenReceiverRejects) {
   EXPECT_TRUE(delivered);
   EXPECT_FALSE(acked);
   EXPECT_TRUE(timedOut);
+  // A rejection is counted as delivered (the wire did its job) *and* as
+  // rejected, so overhead analyses can tell it apart from an offline drop.
+  EXPECT_EQ(network_->stats().delivered, 1u);
+  EXPECT_EQ(network_->stats().rejected, 1u);
+  EXPECT_EQ(network_->stats().droppedOffline, 0u);
+}
+
+TEST_F(NetworkTest, OfflineDropIsNotCountedRejected) {
+  online_.erase(1);
+  network_->sendWithAck(
+      1, [](sim::SimTime) { return false; }, [] {}, [] {},
+      sim::SimDuration::millis(300));
+  sim_.runAll();
+  EXPECT_EQ(network_->stats().droppedOffline, 1u);
+  EXPECT_EQ(network_->stats().rejected, 0u);
+  EXPECT_EQ(network_->stats().delivered, 0u);
 }
 
 TEST_F(NetworkTest, ExactlyOneOfAckAndTimeout) {

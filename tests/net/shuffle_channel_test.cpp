@@ -1,0 +1,263 @@
+// The typed batched shuffle lane: POD records, one coalescing wake, ack /
+// timeout pairing and accounting identical to the closure path's
+// sendWithAck semantics, and quantized batch delivery.
+#include "net/shuffle_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/latency.hpp"
+
+namespace avmem::net {
+namespace {
+
+/// Records every delivery; answers requests with a fixed payload.
+class RecordingSink : public ShuffleSink {
+ public:
+  struct Request {
+    NodeIndex dst, src;
+    std::vector<NodeIndex> offered;
+  };
+  struct Reply {
+    NodeIndex dst, src;
+    std::vector<NodeIndex> reply;
+    std::vector<NodeIndex> echo;
+  };
+
+  explicit RecordingSink(sim::Simulator& sim) : sim_(sim) {}
+
+  void onShuffleBatch(std::span<const ShuffleDelivery> batch,
+                      std::vector<ShuffleRequestOutcome>& outcomes) override {
+    ++batchCalls;
+    batchTimes.push_back(sim_.now());
+    for (const ShuffleDelivery& d : batch) {
+      switch (d.kind) {
+        case ShuffleMsg::Kind::kRequest:
+          requests.push_back(
+              {d.node, d.peer, {d.payload.begin(), d.payload.end()}});
+          outcomes.push_back(
+              {accept, {replyPayload.data(), replyPayload.size()}});
+          break;
+        case ShuffleMsg::Kind::kReply:
+          replies.push_back({d.node,
+                             d.peer,
+                             {d.payload.begin(), d.payload.end()},
+                             {d.echo.begin(), d.echo.end()}});
+          break;
+        case ShuffleMsg::Kind::kTimeout:
+          timeouts.emplace_back(d.node, d.peer);
+          break;
+        case ShuffleMsg::Kind::kAck:
+          ADD_FAILURE() << "acks settle inside the channel";
+          break;
+      }
+    }
+  }
+
+  sim::Simulator& sim_;
+  bool accept = true;
+  std::vector<NodeIndex> replyPayload = {7, 9};
+  std::size_t batchCalls = 0;
+  std::vector<sim::SimTime> batchTimes;
+  std::vector<Request> requests;
+  std::vector<Reply> replies;
+  std::vector<std::pair<NodeIndex, NodeIndex>> timeouts;
+};
+
+class ShuffleChannelTest : public ::testing::Test {
+ protected:
+  /// Constant per-hop latency + ack timeout (ms); optional delivery grid.
+  void build(std::int64_t latencyMs, std::int64_t timeoutMs,
+             std::int64_t quantumMs = 0) {
+    sink_ = std::make_unique<RecordingSink>(sim_);
+    network_ = std::make_unique<Network>(
+        sim_, [this](NodeIndex n) { return online_.contains(n); },
+        std::make_unique<ConstantLatency>(sim::SimDuration::millis(latencyMs)),
+        sim::Rng(1));
+    channel_ = std::make_unique<ShuffleChannel>(
+        sim_, *network_, *sink_, sim::SimDuration::millis(timeoutMs),
+        sim::SimDuration::millis(quantumMs), sim::Rng(2));
+  }
+
+  sim::Simulator sim_;
+  std::set<NodeIndex> online_ = {0, 1, 2, 3};
+  std::unique_ptr<RecordingSink> sink_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<ShuffleChannel> channel_;
+};
+
+TEST_F(ShuffleChannelTest, RequestReplyAckRoundTrip) {
+  build(/*latencyMs=*/50, /*timeoutMs=*/300);
+  const std::vector<NodeIndex> offered = {2, 3, 0};
+  channel_->sendRequest(0, 1, offered);
+  sim_.runAll();
+
+  // Request reached node 1 with the payload intact.
+  ASSERT_EQ(sink_->requests.size(), 1u);
+  EXPECT_EQ(sink_->requests[0].dst, 1u);
+  EXPECT_EQ(sink_->requests[0].src, 0u);
+  EXPECT_EQ(sink_->requests[0].offered, offered);
+
+  // Reply came back to node 0 carrying the sink's payload plus the echo
+  // of what node 0 originally offered.
+  ASSERT_EQ(sink_->replies.size(), 1u);
+  EXPECT_EQ(sink_->replies[0].dst, 0u);
+  EXPECT_EQ(sink_->replies[0].src, 1u);
+  EXPECT_EQ(sink_->replies[0].reply, sink_->replyPayload);
+  EXPECT_EQ(sink_->replies[0].echo, offered);
+
+  // Ack won the race; the timeout never fired.
+  EXPECT_TRUE(sink_->timeouts.empty());
+  const NetworkStats& s = network_->stats();
+  EXPECT_EQ(s.sent, 2u);  // request + reply
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.acksSent, 1u);
+  EXPECT_EQ(s.ackTimeouts, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.droppedOffline, 0u);
+  // 3 request entries + 2 reply entries at 20 B each, + one 16 B ack.
+  EXPECT_EQ(s.bytesSent, 5 * Network::kMembershipEntryBytes +
+                             Network::kAckBytes);
+
+  // The queue drained fully and reclaimed its arena.
+  EXPECT_EQ(channel_->pendingMessages(), 0u);
+  EXPECT_EQ(channel_->arenaEntries(), 0u);
+  EXPECT_EQ(channel_->liveArenaEntries(), 0u);
+}
+
+TEST_F(ShuffleChannelTest, OfflinePartnerDropsAndTimesOut) {
+  build(50, 300);
+  online_.erase(1);
+  channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+  sim_.runAll();
+
+  EXPECT_TRUE(sink_->requests.empty());
+  EXPECT_TRUE(sink_->replies.empty());
+  ASSERT_EQ(sink_->timeouts.size(), 1u);
+  EXPECT_EQ(sink_->timeouts[0], std::make_pair(NodeIndex{0}, NodeIndex{1}));
+  EXPECT_EQ(network_->stats().droppedOffline, 1u);
+  EXPECT_EQ(network_->stats().ackTimeouts, 1u);
+  EXPECT_EQ(network_->stats().acksSent, 0u);
+}
+
+TEST_F(ShuffleChannelTest, RejectionCountsRejectedAndTimesOut) {
+  build(50, 300);
+  sink_->accept = false;
+  channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+  sim_.runAll();
+
+  // The request was delivered (and counted so), but the receiver said no:
+  // no reply, no ack, the initiator's timeout fires, and the new rejected
+  // counter separates this from an offline drop.
+  ASSERT_EQ(sink_->requests.size(), 1u);
+  EXPECT_TRUE(sink_->replies.empty());
+  EXPECT_EQ(sink_->timeouts.size(), 1u);
+  const NetworkStats& s = network_->stats();
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.droppedOffline, 0u);
+  EXPECT_EQ(s.acksSent, 0u);
+  EXPECT_EQ(s.ackTimeouts, 1u);
+}
+
+TEST_F(ShuffleChannelTest, LateReplyStillDeliversAfterTimeout) {
+  // 200 ms per hop, 300 ms timeout: the request lands at 200, the ack
+  // would land at 400 — the timeout fires first. The reply must still be
+  // delivered at 400 (independent datagram), exactly like the closure
+  // path's separate reply datagram.
+  build(/*latencyMs=*/200, /*timeoutMs=*/300);
+  channel_->sendRequest(0, 1, std::vector<NodeIndex>{2, 0});
+  sim_.runAll();
+
+  EXPECT_EQ(sink_->timeouts.size(), 1u);
+  EXPECT_EQ(network_->stats().ackTimeouts, 1u);
+  ASSERT_EQ(sink_->replies.size(), 1u);  // late reply merged anyway
+  EXPECT_EQ(sink_->replies[0].dst, 0u);
+  EXPECT_EQ(network_->stats().delivered, 2u);
+}
+
+TEST_F(ShuffleChannelTest, AckTimeoutTieResolvesToTimeout) {
+  // 150 ms per hop: ack lands exactly at the 300 ms deadline. The timeout
+  // record was pushed first, so FIFO order at equal due times lets it win
+  // — matching sendWithAck, where the timeout event is scheduled at send
+  // time and ties are broken by scheduling order.
+  build(/*latencyMs=*/150, /*timeoutMs=*/300);
+  channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+  sim_.runAll();
+
+  EXPECT_EQ(sink_->timeouts.size(), 1u);
+  EXPECT_EQ(network_->stats().ackTimeouts, 1u);
+  EXPECT_EQ(sink_->replies.size(), 1u);
+}
+
+TEST_F(ShuffleChannelTest, BatchedRequestsCoalesceAndStayFifo) {
+  build(50, 300);
+  // A commit pass enqueues a burst; every leg lands at the same instant,
+  // so the sink sees ONE batch, in enqueue (FIFO) order.
+  for (NodeIndex src = 0; src < 3; ++src) {
+    channel_->sendRequest(src, static_cast<NodeIndex>((src + 1) % 4),
+                          std::vector<NodeIndex>{src});
+  }
+  sim_.runAll();
+  ASSERT_EQ(sink_->requests.size(), 3u);
+  EXPECT_EQ(sink_->requests[0].src, 0u);
+  EXPECT_EQ(sink_->requests[1].src, 1u);
+  EXPECT_EQ(sink_->requests[2].src, 2u);
+  EXPECT_EQ(sink_->batchTimes.front(), sim::SimTime::millis(50));
+  EXPECT_EQ(network_->stats().acksSent, 3u);
+  EXPECT_EQ(channel_->pendingMessages(), 0u);
+}
+
+TEST_F(ShuffleChannelTest, QuantizationRoundsDeliveryUpOntoTheGrid) {
+  // 50 ms latency on a 20 ms grid: the request lands at 60, the reply
+  // (sent at 60, landing raw at 110) at 120. Batches form on grid lines.
+  build(/*latencyMs=*/50, /*timeoutMs=*/300, /*quantumMs=*/20);
+  channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+  sim_.runAll();
+
+  ASSERT_EQ(sink_->batchTimes.size(), 2u);
+  EXPECT_EQ(sink_->batchTimes[0], sim::SimTime::millis(60));
+  EXPECT_EQ(sink_->batchTimes[1], sim::SimTime::millis(120));
+  ASSERT_EQ(sink_->requests.size(), 1u);
+  ASSERT_EQ(sink_->replies.size(), 1u);
+  EXPECT_TRUE(sink_->timeouts.empty());  // ack at 180 beats the 300 deadline
+}
+
+TEST_F(ShuffleChannelTest, QuantizedTieResolvesByTrueArrivalTime) {
+  // Quantization lands records on shared grid lines, but the race is
+  // still decided on the exact timeline: 30 ms hops on a 20 ms grid put
+  // the request at 40 (raw 30) and the ack at raw 70, grid 80.
+  {
+    // Deadline 65 ms quantizes to 80 too — a tie. The ack truly arrived
+    // at 70, after the true 65 ms deadline: the timeout must win.
+    build(/*latencyMs=*/30, /*timeoutMs=*/65, /*quantumMs=*/20);
+    channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+    sim_.runAll();
+    EXPECT_EQ(sink_->timeouts.size(), 1u);
+    EXPECT_EQ(network_->stats().ackTimeouts, 1u);
+  }
+  {
+    // Deadline 75 ms also quantizes to 80 — but now the ack (raw 70)
+    // truly beat it, so it must settle the exchange despite the grid tie.
+    build(/*latencyMs=*/30, /*timeoutMs=*/75, /*quantumMs=*/20);
+    channel_->sendRequest(0, 1, std::vector<NodeIndex>{2});
+    sim_.runAll();
+    EXPECT_TRUE(sink_->timeouts.empty());
+    EXPECT_EQ(network_->stats().ackTimeouts, 0u);
+  }
+}
+
+TEST_F(ShuffleChannelTest, WireRecordStaysPod) {
+  // The whole point of the batched path: in-flight messages are plain
+  // data, not closures.
+  static_assert(std::is_trivially_copyable_v<ShuffleMsg>);
+  static_assert(std::is_trivially_destructible_v<ShuffleMsg>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace avmem::net

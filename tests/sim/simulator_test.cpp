@@ -66,6 +66,25 @@ TEST(SimulatorTest, EventAtExactBoundRuns) {
   EXPECT_TRUE(fired);
 }
 
+TEST(SimulatorTest, CancelledHeadDoesNotLetRunUntilOvershoot) {
+  // Regression: runUntil used to gate on the raw head timestamp. With a
+  // lazily-cancelled event at t=100 < until and a live one at t=200 >
+  // until, the gate passed, popNext skipped the cancelled head, and the
+  // t=200 event ran with the clock jumping past the horizon. Cancel-and-
+  // rearm patterns (the shuffle channel's wake) hit this constantly.
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule(SimTime::millis(100), [] {});
+  sim.schedule(SimTime::millis(200), [&] { fired = true; });
+  handle.cancel();
+  sim.runUntil(SimTime::millis(150));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), SimTime::millis(150));
+  sim.runUntil(SimTime::millis(250));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), SimTime::millis(250));
+}
+
 TEST(SimulatorTest, EventsCanScheduleEvents) {
   Simulator sim;
   int depth = 0;

@@ -18,6 +18,8 @@ INVARIANT_KEYS = (
     "warmup_sim_h",
     "events",
     "maint_timers",
+    "completed_shuffles",
+    "view_digest",
     "mean_degree",
     "anycasts",
     "delivered_fraction",
