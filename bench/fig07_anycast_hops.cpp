@@ -59,6 +59,10 @@ int main() {
                                                  env.messagesPerPoint);
       for (const auto& r : batch.results) {
         ++total;
+        // Hop histograms are over *delivered* operations only: dropped
+        // ops report the hops = -1 sentinel (hop count unknown — the
+        // watchdog settled them), and ttl/retry-expired hop counts mean
+        // "where the message died", not a delivery length.
         if (r.outcome != core::AnycastOutcome::kDelivered) continue;
         ++delivered;
         ++hopCounts[std::min<std::size_t>(r.hops, hopCounts.size() - 1)];

@@ -102,7 +102,9 @@ struct PointResult {
   std::size_t maintTimers = 0;
   std::uint64_t completedShuffles = 0;
   std::uint64_t viewDigest = 0;  ///< order-sensitive hash over all views
-  double meanDegree = 0.0;
+  double meanDegree = 0.0;       ///< mean HS+VS degree (convergence gauge)
+  double hsDegree = 0.0;         ///< mean horizontal-sliver degree
+  std::uint64_t feedCandidates = 0;  ///< rendezvous-feed draws evaluated
   std::size_t anycasts = 0;
   double deliveredFraction = 0.0;
   double batchS = 0.0;
@@ -131,6 +133,8 @@ void writeJson(const std::string& path, const std::vector<PointResult>& points,
         << ", \"completed_shuffles\": " << p.completedShuffles
         << ", \"view_digest\": " << p.viewDigest
         << ", \"mean_degree\": " << p.meanDegree
+        << ", \"hs_degree\": " << p.hsDegree
+        << ", \"feed_candidates\": " << p.feedCandidates
         << ", \"anycasts\": " << p.anycasts
         << ", \"delivered_fraction\": " << p.deliveredFraction
         << ", \"batch_s\": " << p.batchS << "}"
@@ -173,8 +177,8 @@ int main(int argc, char** argv) {
             << " availability backend\n";
   std::cout << "# n backend threads model_mb build_s warmup_s warmup_sim_h "
                "events events_per_s plan_s commit_s plan_share maint_timers "
-               "completed_shuffles view_digest mean_degree anycasts "
-               "delivered batch_s\n";
+               "completed_shuffles view_digest mean_degree hs_degree "
+               "feed_candidates anycasts delivered batch_s\n";
 
   std::optional<std::int64_t> shufflePeriodS;
   if (const char* sp = std::getenv("AVMEM_SHUFFLE_PERIOD_S"); sp != nullptr) {
@@ -220,14 +224,18 @@ int main(int argc, char** argv) {
                            system.shuffleService().commitWallSeconds();
 
     // Mean degree over a fixed-size sample (full scans are O(N) and tell
-    // the same story).
+    // the same story). hs_degree separates the harder convergence target:
+    // the ±eps horizontal band is what uniform views starve.
     const std::size_t sample = std::min<std::size_t>(n, 2000);
     double degree = 0.0;
+    double hsDegree = 0.0;
     for (std::size_t i = 0; i < sample; ++i) {
-      degree += static_cast<double>(
-          system.node(static_cast<net::NodeIndex>(i)).degree());
+      const auto& node = system.node(static_cast<net::NodeIndex>(i));
+      degree += static_cast<double>(node.degree());
+      hsDegree += static_cast<double>(node.horizontalSliver().size());
     }
     degree /= static_cast<double>(sample);
+    hsDegree /= static_cast<double>(sample);
 
     // The proof that maintenance pressure is O(shards): periodic timers
     // the engine keeps in the queue, independent of N.
@@ -266,6 +274,8 @@ int main(int argc, char** argv) {
     p.completedShuffles = system.shuffleService().completedShuffles();
     p.viewDigest = viewDigest;
     p.meanDegree = degree;
+    p.hsDegree = hsDegree;
+    p.feedCandidates = system.membershipEngine().stats().feedCandidates;
     p.anycasts = batch.count();
     p.deliveredFraction = batch.deliveredFraction();
     p.batchS = batchS;
@@ -276,8 +286,9 @@ int main(int argc, char** argv) {
               << p.warmupSimH << " " << p.events << " " << p.eventsPerS
               << " " << p.planS << " " << p.commitS << " " << p.planShare
               << " " << p.maintTimers << " " << p.completedShuffles << " "
-              << p.viewDigest << " " << p.meanDegree << " " << p.anycasts
-              << " " << p.deliveredFraction << " " << p.batchS << "\n";
+              << p.viewDigest << " " << p.meanDegree << " " << p.hsDegree
+              << " " << p.feedCandidates << " " << p.anycasts << " "
+              << p.deliveredFraction << " " << p.batchS << "\n";
   }
   if (jsonPath) writeJson(*jsonPath, points, seed);
   return 0;

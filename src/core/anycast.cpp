@@ -49,7 +49,10 @@ void AnycastEngine::settle(std::shared_ptr<Operation> op,
   op->watchdog.cancel();
   AnycastResult result;
   result.outcome = outcome;
-  result.hops = std::max(hops, 0);
+  // The watchdog's hops = -1 sentinel survives into the result: clamping
+  // it to 0 made watchdog-settled kDropped operations look like 0-hop
+  // deliveries to any hop aggregation.
+  result.hops = hops;
   result.latency = ctx_.sim.now() - op->startedAt;
   result.deliveredTo = deliveredTo;
   op->done(result);

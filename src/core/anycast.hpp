@@ -70,7 +70,12 @@ enum class AnycastOutcome : std::uint8_t {
 /// Result of one anycast operation.
 struct AnycastResult {
   AnycastOutcome outcome = AnycastOutcome::kDropped;
-  int hops = 0;                    ///< virtual hops traveled
+  /// Virtual hops traveled; -1 when unknown (the watchdog settled a
+  /// kDropped operation that died silently in flight, so no hop count
+  /// reached the engine). Hop statistics must filter on `outcome ==
+  /// kDelivered` — a clamped 0 here once made dropped operations
+  /// indistinguishable from 0-hop deliveries.
+  int hops = 0;
   sim::SimDuration latency;        ///< start -> terminal event
   net::NodeIndex deliveredTo = 0;  ///< valid when outcome == kDelivered
 };

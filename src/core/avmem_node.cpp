@@ -180,7 +180,10 @@ bool AvmemNode::verifyIncoming(NodeIndex sender) {
   // for itself. Consistency of H means the hash needs no trust. The
   // self-estimate is refreshed first — a node always has current access
   // to its own monitoring answer, and a stale value from before an
-  // offline period would corrupt the judgment.
+  // offline period would corrupt the judgment. Two queries per message
+  // (self + sender), tracked separately so the overhead analysis can
+  // attribute verification's monitoring load.
+  stats_.verificationQueries += 2;
   updateSelfAvailability();
   ++stats_.availabilityQueries;
   const auto senderAv = ctx_->availability.query(self_, sender);

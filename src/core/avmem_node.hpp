@@ -87,6 +87,11 @@ struct NodeStats {
   std::uint64_t neighborsDiscovered = 0;
   std::uint64_t neighborsEvicted = 0;
   std::uint64_t availabilityQueries = 0;
+  /// Subset of availabilityQueries spent inside verifyIncoming (exactly
+  /// two per verified message: the refreshed self-estimate plus the
+  /// sender lookup) — the per-message monitoring cost the overhead
+  /// analysis accounts separately.
+  std::uint64_t verificationQueries = 0;
   std::uint64_t messagesVerified = 0;
   std::uint64_t messagesRejected = 0;
 };
@@ -171,7 +176,12 @@ class AvmemNode {
   /// Receiver-side verification (paper Section 4.1): would this node
   /// accept a message from `sender`? Re-evaluates M(sender, self) with
   /// *this node's* view of both availabilities plus the configured
-  /// cushion. Pure — does not mutate protocol state beyond counters.
+  /// cushion. NOT pure: it deliberately refreshes this node's
+  /// self-availability estimate first (a stale value from before an
+  /// offline period would corrupt the judgment), so `selfAv_` may move.
+  /// Each call issues two monitoring queries — self and sender — charged
+  /// to both NodeStats::availabilityQueries and the per-message
+  /// NodeStats::verificationQueries breakdown.
   [[nodiscard]] bool verifyIncoming(NodeIndex sender);
 
   /// Re-fetch this node's own availability estimate.
@@ -185,8 +195,14 @@ class AvmemNode {
 
   /// Drop a neighbor known to be unreachable (failure feedback from
   /// routing, mirrors the shuffle service's eviction of dead entries).
+  /// Removes the peer from *both* slivers — a short-circuit here once let
+  /// a dead peer filed in both survive in the vertical sliver, where it
+  /// kept attracting retried-greedy traffic — and counts one eviction per
+  /// entry removed (matching the Refresh eviction accounting).
   void evictNeighbor(NodeIndex peer) {
-    if (hs_.remove(peer) || vs_.remove(peer)) ++stats_.neighborsEvicted;
+    const auto removed = static_cast<std::uint64_t>(hs_.remove(peer)) +
+                         static_cast<std::uint64_t>(vs_.remove(peer));
+    stats_.neighborsEvicted += removed;
   }
 
  private:

@@ -42,6 +42,10 @@ void MembershipEngine::start() {
 
   lanes_.resize(std::max(discovery_.maxSlotPopulation(),
                          refresh_.maxSlotPopulation()));
+  if (feed_) {
+    candidateLanes_.resize(lanes_.size());
+    laneFeedCounts_.assign(lanes_.size(), 0);
+  }
 }
 
 void MembershipEngine::stop() {
@@ -58,6 +62,19 @@ void MembershipEngine::planTick(Round round, NodeIndex i, std::size_t lane) {
   if (round == Round::kDiscovery) {
     if (config_.coarseViewOverlay) {
       nodes_[i].planAdopt(view_(i), plan);
+    } else if (feed_) {
+      // Merge the coarse view with the rendezvous feed's draws before the
+      // node evaluates candidates. The buffer is lane-private; the feed
+      // dedups against the view prefix and skips the node itself, so the
+      // node sees each candidate at most once per round.
+      std::vector<net::NodeIndex>& candidates = candidateLanes_[lane];
+      const auto view = view_(i);
+      candidates.assign(view.begin(), view.end());
+      feed_(i, nodes_[i].selfAvailability(),
+            nodes_[i].stats().discoveryRounds, candidates);
+      laneFeedCounts_[lane] =
+          static_cast<std::uint32_t>(candidates.size() - view.size());
+      nodes_[i].planDiscovery(candidates, plan);
     } else {
       nodes_[i].planDiscovery(view_(i), plan);
     }
@@ -78,12 +95,16 @@ void MembershipEngine::commitTick(Round round, NodeIndex i,
     if (config_.coarseViewOverlay) {
       nodes_[i].commitAdopt(plan);
     } else {
+      if (feed_) stats_.feedCandidates += laneFeedCounts_[lane];
       nodes_[i].commitDiscovery(plan);
     }
   } else {
     ++stats_.refreshRounds;
     nodes_[i].commitRefresh(plan);
   }
+  // Committed rounds re-advertise the node to the rendezvous directory:
+  // online nodes refresh their bucket every epoch, offline ones age out.
+  if (publish_) publish_(i, nodes_[i].selfAvailability());
 }
 
 }  // namespace avmem::core

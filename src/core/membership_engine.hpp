@@ -56,6 +56,9 @@ struct MembershipEngineStats {
   std::uint64_t discoveryRounds = 0;  ///< per-node discovery firings
   std::uint64_t refreshRounds = 0;    ///< per-node refresh firings
   std::uint64_t skippedOffline = 0;   ///< firings gated out by churn
+  /// Candidates the secondary feed contributed to discovery rounds (after
+  /// dedup against the coarse view); zero when no feed is wired.
+  std::uint64_t feedCandidates = 0;
 };
 
 /// Owns discovery/refresh scheduling for all nodes.
@@ -66,20 +69,38 @@ class MembershipEngine {
       std::function<std::span<const net::NodeIndex>(net::NodeIndex)>;
   /// Is a node online right now (the churn oracle)?
   using OnlineFn = std::function<bool(net::NodeIndex)>;
+  /// The second candidate seam beside ViewFn: append extra Discovery
+  /// candidates for `node`'s round number `round` to `out` (which already
+  /// holds the coarse view — implementations must not duplicate entries
+  /// or add `node` itself). Called from the plan phase, so it must be
+  /// read-only against shared state and deterministic in (node, round) —
+  /// the availability-bucketed rendezvous feed (core/candidate_feed.hpp)
+  /// is the canonical implementation.
+  using FeedFn = std::function<void(net::NodeIndex node, double selfAv,
+                                    std::uint64_t round,
+                                    std::vector<net::NodeIndex>& out)>;
+  /// Directory publication hook, invoked in the serial commit phase after
+  /// every committed (online) maintenance round with the node's current
+  /// self-availability estimate.
+  using PublishFn = std::function<void(net::NodeIndex, double av)>;
 
   /// `pool` (optional) parallelizes the plan phase of slot firings; the
-  /// caller must only pass a pool when the view/online seams and the
+  /// caller must only pass a pool when the view/online/feed seams and the
   /// node's plan-phase reads (availability service, pair hasher, churn
   /// model) are safe to call concurrently — AvmemSimulation gates this on
-  /// the backends' declared capabilities.
+  /// the backends' declared capabilities. `feed`/`publish` (optional)
+  /// plug in the rendezvous candidate directory.
   MembershipEngine(sim::Simulator& sim, std::vector<AvmemNode>& nodes,
                    ViewFn view, OnlineFn online,
                    const MembershipEngineConfig& config, sim::Rng rng,
-                   sim::WorkerPool* pool = nullptr)
+                   sim::WorkerPool* pool = nullptr, FeedFn feed = nullptr,
+                   PublishFn publish = nullptr)
       : sim_(sim),
         nodes_(nodes),
         view_(std::move(view)),
         online_(std::move(online)),
+        feed_(std::move(feed)),
+        publish_(std::move(publish)),
         config_(config),
         rng_(rng),
         pool_(pool) {}
@@ -144,6 +165,8 @@ class MembershipEngine {
   std::vector<AvmemNode>& nodes_;
   ViewFn view_;
   OnlineFn online_;
+  FeedFn feed_;
+  PublishFn publish_;
   MembershipEngineConfig config_;
   sim::Rng rng_;
   sim::WorkerPool* pool_ = nullptr;
@@ -152,6 +175,11 @@ class MembershipEngine {
   /// Lane-indexed plan buffers, sized to the largest slot and reused
   /// across firings (evals capacity survives reset()).
   std::vector<MaintenancePlan> lanes_;
+  /// Lane-indexed merged candidate buffers (coarse view + feed draws) and
+  /// the per-lane count of feed-contributed entries, folded into stats_
+  /// at commit (plan phases must not touch shared counters).
+  std::vector<std::vector<net::NodeIndex>> candidateLanes_;
+  std::vector<std::uint32_t> laneFeedCounts_;
   MembershipEngineStats stats_;
   bool started_ = false;
 };

@@ -145,6 +145,13 @@ Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
   s.config.shuffle.viewSize = 64;
   s.config.shuffle.gossipLength = 32;
 
+  // Availability-bucketed rendezvous candidate feed: compact uniform
+  // views alone leave Discovery unconverged at 100k+ (mean degree < 1
+  // after 2 sim-hours); predicate-matched bucket draws restore the
+  // paper's overlay at scale. paper-* scenarios keep it off — the paper's
+  // Discovery consumes only the coarse view.
+  s.config.candidateFeed.enabled = true;
+
   // Auto-sharded maintenance (O(256) timers regardless of N).
   s.config.maintenanceShards = 0;
 

@@ -213,6 +213,16 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   shuffle_ = std::make_unique<avmon::ShuffleService>(
       *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"), pool_.get());
 
+  // Availability-bucketed rendezvous candidate feed: the second Discovery
+  // candidate seam. Draws read only the frozen directory snapshot plus
+  // the pair hash and predicate, so the plan phase may call them
+  // concurrently whenever the engine's other read paths already qualify
+  // (the hasher gate above covers the feed's only shared service).
+  if (config.candidateFeed.enabled && !config.useCoarseViewOverlay) {
+    feed_ = std::make_unique<CandidateFeed>(
+        config.candidateFeed, n, *ctx_, rng_.fork("candidate-feed").next());
+  }
+
   // Maintenance: the engine owns discovery/refresh for every node over a
   // sharded schedule — O(shards) timers in the event queue, not O(nodes).
   MembershipEngineConfig engineConfig;
@@ -221,6 +231,16 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   engineConfig.shards = config.maintenanceShards;
   engineConfig.coarseViewOverlay = config.useCoarseViewOverlay;
   auto* shufflePtr = shuffle_.get();
+  MembershipEngine::FeedFn feedFn;
+  MembershipEngine::PublishFn publishFn;
+  if (feed_ != nullptr) {
+    auto* feedPtr = feed_.get();
+    feedFn = [feedPtr](NodeIndex i, double selfAv, std::uint64_t round,
+                       std::vector<NodeIndex>& out) {
+      feedPtr->drawCandidates(i, selfAv, round, out);
+    };
+    publishFn = [feedPtr](NodeIndex i, double av) { feedPtr->publish(i, av); };
+  }
   engine_ = std::make_unique<MembershipEngine>(
       *sim_, nodes_,
       [shufflePtr](NodeIndex i) {
@@ -229,7 +249,8 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
       [tracePtr, simPtr](NodeIndex i) {
         return tracePtr->onlineAt(i, simPtr->now());
       },
-      engineConfig, rng_.fork("task-stagger"), pool_.get());
+      engineConfig, rng_.fork("task-stagger"), pool_.get(),
+      std::move(feedFn), std::move(publishFn));
 
   anycastEngine_ = std::make_unique<AnycastEngine>(
       *ctx_, *network_, nodes_, rng_.fork("anycast"));
@@ -244,6 +265,9 @@ void AvmemSimulation::warmup(sim::SimDuration duration) {
     started_ = true;
     shuffle_->start();
     engine_->start();
+    if (feed_ != nullptr) {
+      feed_->start(*sim_, config_.protocol.discoveryPeriod);
+    }
   }
   sim_->runUntil(sim_->now() + duration);
 }

@@ -22,6 +22,7 @@
 #include "avmon/shuffle_service.hpp"
 #include "core/anycast.hpp"
 #include "core/avmem_node.hpp"
+#include "core/candidate_feed.hpp"
 #include "core/config.hpp"
 #include "core/membership_engine.hpp"
 #include "core/multicast.hpp"
@@ -100,6 +101,14 @@ struct SimulationConfig {
   /// Edge probability for kRandomOverlay; 0 = SCAMP-style sizing,
   /// (1 + c1) * log(N*) expected neighbors.
   double randomOverlayP = 0.0;
+
+  /// Availability-bucketed rendezvous candidate feed (the second
+  /// Discovery candidate seam beside the coarse view; see
+  /// core/candidate_feed.hpp). Off by default for paper fidelity;
+  /// scale-* scenarios enable it — without it, compact uniform views
+  /// leave Discovery unconverged at 100k+ (mean degree < 1 after
+  /// 2 sim-hours).
+  CandidateFeedConfig candidateFeed{};
 
   /// Replace AVMEM's predicate-driven slivers with the raw shuffled
   /// coarse view as each node's membership list — the availability-
@@ -229,6 +238,11 @@ class AvmemSimulation {
   [[nodiscard]] const MembershipEngine& membershipEngine() const noexcept {
     return *engine_;
   }
+  /// The rendezvous candidate directory; nullptr when the feed is
+  /// disabled (paper-fidelity configurations).
+  [[nodiscard]] const CandidateFeed* candidateFeed() const noexcept {
+    return feed_.get();
+  }
   /// Effective maintenance plan-phase thread count after auto-resolution
   /// and the concurrency-safety clamp (1 = serial).
   [[nodiscard]] std::size_t maintenanceThreads() const noexcept {
@@ -304,6 +318,7 @@ class AvmemSimulation {
   std::unique_ptr<ProtocolContext> ctx_;
   std::vector<AvmemNode> nodes_;
   std::unique_ptr<sim::WorkerPool> pool_;
+  std::unique_ptr<CandidateFeed> feed_;
   std::unique_ptr<MembershipEngine> engine_;
   std::unique_ptr<AnycastEngine> anycastEngine_;
   std::unique_ptr<MulticastEngine> multicastEngine_;

@@ -3,10 +3,112 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "core/simulation.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "tests/core/test_world.hpp"
 
 namespace avmem::core {
 namespace {
+
+/// A two-node hand-wired world for forwarding-failure regressions:
+/// node 0 is always online (availability 1.0); node 1 was online early
+/// but is dead in the window the tests run in (oracle availability ~1/3).
+struct DeadPeerWorld {
+  DeadPeerWorld()
+      : world(makeTrace(), testing::twoLevelPredicate(1.0, 1.0)),
+        network(
+            world.sim,
+            [this](net::NodeIndex i) {
+              return world.trace.onlineAt(i, world.sim.now());
+            },
+            net::paperDefaultLatency(), sim::Rng(5)),
+        engine(world.ctx, network, world.nodes, sim::Rng(7)) {
+    // Move past node 1's death so sends to it drop offline.
+    world.sim.runUntil(sim::SimTime::minutes(20 * 300));
+  }
+
+  static trace::ChurnTrace makeTrace() {
+    std::vector<std::vector<std::uint8_t>> rows(2);
+    for (int e = 0; e < 400; ++e) {
+      rows[0].push_back(1);
+      rows[1].push_back(e < 100 ? 1 : 0);
+    }
+    return trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20));
+  }
+
+  /// File node 1 in node 0's slivers through the public commit path.
+  void seedNeighbor(bool inHs, bool inVs) {
+    MaintenancePlan plan;
+    plan.online = true;
+    if (inHs) {
+      plan.evals.push_back(MaintenancePlan::PeerEval{
+          1, true, true, SliverKind::kHorizontal, 0.9});
+    }
+    if (inVs) {
+      plan.evals.push_back(MaintenancePlan::PeerEval{
+          1, true, true, SliverKind::kVertical, 0.9});
+    }
+    world.nodes[0].commitDiscovery(plan);
+  }
+
+  AnycastResult run(const AnycastParams& params) {
+    std::optional<AnycastResult> result;
+    engine.start(0, params, [&result](const AnycastResult& r) { result = r; });
+    while (!result && world.sim.pendingEvents() > 0) {
+      world.sim.step();
+    }
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(AnycastResult{});
+  }
+
+  testing::ManualWorld world;
+  net::Network network;
+  AnycastEngine engine;
+};
+
+TEST(AnycastRegressionTest, AckTimeoutEvictsDeadPeerFromBothSlivers) {
+  // Regression for the evictNeighbor short-circuit: node 1 is dead and
+  // filed in BOTH of node 0's slivers. retryBudget = 1 means exactly one
+  // ack timeout fires before the operation settles, so exactly one
+  // evictNeighbor call must purge both entries — the buggy short-circuit
+  // left the vertical-sliver entry alive to attract the next operation.
+  DeadPeerWorld w;
+  w.seedNeighbor(/*inHs=*/true, /*inVs=*/true);
+  ASSERT_TRUE(w.world.nodes[0].horizontalSliver().contains(1));
+  ASSERT_TRUE(w.world.nodes[0].verticalSliver().contains(1));
+
+  AnycastParams p;
+  p.range = AvRange::closed(0.0, 0.1);  // node 0 (av 1.0) must forward
+  p.strategy = AnycastStrategy::kRetriedGreedy;
+  p.retryBudget = 1;
+  const auto r = w.run(p);
+
+  EXPECT_EQ(r.outcome, AnycastOutcome::kRetryExpired);
+  EXPECT_FALSE(w.world.nodes[0].knows(1))
+      << "dead peer survived eviction in a sliver";
+  EXPECT_TRUE(w.world.nodes[0].horizontalSliver().empty());
+  EXPECT_TRUE(w.world.nodes[0].verticalSliver().empty());
+  EXPECT_EQ(w.world.nodes[0].stats().neighborsEvicted, 2u);
+}
+
+TEST(AnycastRegressionTest, WatchdogSettledDropReportsUnknownHops) {
+  // A fire-and-forget hop into a dead next-hop dies silently; the
+  // watchdog settles kDropped with the hops = -1 sentinel. The old clamp
+  // to 0 made these indistinguishable from 0-hop deliveries.
+  DeadPeerWorld w;
+  w.seedNeighbor(/*inHs=*/false, /*inVs=*/true);
+
+  AnycastParams p;
+  p.range = AvRange::closed(0.0, 0.1);
+  p.strategy = AnycastStrategy::kGreedy;
+  const auto r = w.run(p);
+
+  EXPECT_EQ(r.outcome, AnycastOutcome::kDropped);
+  EXPECT_EQ(r.hops, -1);
+}
 
 /// A compact world: 120 hosts, oracle availability (isolates routing
 /// behaviour from estimate noise), 3h warm-up at 1-minute discovery.

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "tests/core/test_world.hpp"
 
 namespace avmem::core {
@@ -241,6 +243,128 @@ TEST(AvmemNodeTest, NeighborsHonorSliverSetSelection) {
   EXPECT_EQ(node.neighbors(SliverSet::kVsOnly).size(),
             node.verticalSliver().size());
   EXPECT_EQ(node.neighbors(SliverSet::kHsAndVs).size(), node.degree());
+}
+
+TEST(AvmemNodeTest, EvictNeighborPurgesAPeerFiledInBothSlivers) {
+  // Regression: evictNeighbor short-circuited `hs.remove || vs.remove`,
+  // so a peer filed in both slivers survived in the vertical sliver and
+  // kept attracting routed traffic after its death. A single eviction
+  // must purge both entries and count each removed entry.
+  ManualWorld w(cyclicTrace(spreadAvailabilities(10)),
+                twoLevelPredicate(1.0, 1.0));
+  AvmemNode& node = w.nodes[0];
+
+  MaintenancePlan plan;
+  plan.online = true;
+  plan.evals.push_back(MaintenancePlan::PeerEval{
+      5, true, true, SliverKind::kHorizontal, 0.5});
+  plan.evals.push_back(MaintenancePlan::PeerEval{
+      5, true, true, SliverKind::kVertical, 0.5});
+  node.commitDiscovery(plan);
+  ASSERT_TRUE(node.horizontalSliver().contains(5));
+  ASSERT_TRUE(node.verticalSliver().contains(5));
+
+  node.evictNeighbor(5);
+  EXPECT_FALSE(node.knows(5));
+  EXPECT_TRUE(node.horizontalSliver().empty());
+  EXPECT_TRUE(node.verticalSliver().empty());
+  EXPECT_EQ(node.stats().neighborsEvicted, 2u);
+}
+
+TEST(AvmemNodeTest, VerifyIncomingChargesTwoQueriesPerMessage) {
+  // The documented per-message monitoring cost of receiver-side
+  // verification: one refreshed self-estimate plus one sender lookup,
+  // visible both in the aggregate counter and the verification breakdown.
+  ManualWorld w(cyclicTrace(spreadAvailabilities(10)),
+                twoLevelPredicate(1.0, 1.0));
+  w.sim.runUntil(sim::SimTime::days(1));
+  AvmemNode& node = w.nodes[3];
+  const auto before = node.stats();
+  (void)node.verifyIncoming(4);
+  (void)node.verifyIncoming(5);
+  const auto after = node.stats();
+  EXPECT_EQ(after.messagesVerified - before.messagesVerified, 2u);
+  EXPECT_EQ(after.verificationQueries - before.verificationQueries, 4u);
+  EXPECT_EQ(after.availabilityQueries - before.availabilityQueries, 4u);
+}
+
+TEST(AvmemNodeTest, RefreshCommitMatchesNaiveReference) {
+  // Property test for refreshSliverFromPlan's swap-removal index
+  // mirroring: random sliver contents and random per-entry outcomes
+  // (evict / reclassify / keep) interleaved in arbitrary positions must
+  // leave exactly the state a naive set-based reference predicts.
+  ManualWorld w(cyclicTrace(spreadAvailabilities(40)),
+                twoLevelPredicate(1.0, 1.0));
+
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    sim::Rng rng(trial * 7919 + 1);
+    AvmemNode node(0, w.ctx);
+
+    // Seed both slivers through the public commit path.
+    const std::size_t hsCount = rng.index(8);
+    const std::size_t vsCount = rng.index(8);
+    MaintenancePlan seed;
+    seed.online = true;
+    for (std::size_t k = 0; k < hsCount + vsCount; ++k) {
+      const auto peer = static_cast<net::NodeIndex>(k + 1);
+      seed.evals.push_back(MaintenancePlan::PeerEval{
+          peer, true, true,
+          k < hsCount ? SliverKind::kHorizontal : SliverKind::kVertical,
+          rng.uniform()});
+    }
+    node.commitDiscovery(seed);
+
+    // Build a refresh plan in list order (planRefresh's contract) with a
+    // random outcome per entry, and the reference result alongside.
+    MaintenancePlan plan;
+    plan.online = true;
+    std::map<net::NodeIndex, double> expectHs;
+    std::map<net::NodeIndex, double> expectVs;
+    std::uint64_t expectedEvictions = 0;
+    const auto planEntry = [&](net::NodeIndex peer, SliverKind ownKind) {
+      const std::uint64_t outcome = rng.below(3);
+      const double newAv = rng.uniform();
+      if (outcome == 0) {  // predicate turned false (or peer unknown)
+        plan.evals.push_back(
+            MaintenancePlan::PeerEval{peer, false, false, ownKind, 0.0});
+        ++expectedEvictions;
+        return;
+      }
+      const SliverKind kind =
+          outcome == 1 ? ownKind
+                       : (ownKind == SliverKind::kHorizontal
+                              ? SliverKind::kVertical
+                              : SliverKind::kHorizontal);
+      plan.evals.push_back(
+          MaintenancePlan::PeerEval{peer, true, true, kind, newAv});
+      (kind == SliverKind::kHorizontal ? expectHs : expectVs)[peer] = newAv;
+    };
+    for (const auto peer : node.horizontalSliver().peers()) {
+      planEntry(peer, SliverKind::kHorizontal);
+    }
+    plan.hsEvalCount = plan.evals.size();
+    for (const auto peer : node.verticalSliver().peers()) {
+      planEntry(peer, SliverKind::kVertical);
+    }
+
+    const std::uint64_t evictionsBefore = node.stats().neighborsEvicted;
+    node.commitRefresh(plan);
+
+    const auto materialize = [](const SliverList& list) {
+      std::map<net::NodeIndex, double> out;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        out[list.peerAt(i)] = list.cachedAvAt(i);
+      }
+      return out;
+    };
+    EXPECT_EQ(materialize(node.horizontalSliver()), expectHs)
+        << "trial " << trial;
+    EXPECT_EQ(materialize(node.verticalSliver()), expectVs)
+        << "trial " << trial;
+    EXPECT_EQ(node.stats().neighborsEvicted - evictionsBefore,
+              expectedEvictions)
+        << "trial " << trial;
+  }
 }
 
 TEST(AvmemNodeTest, EvictNeighborRemovesFromEitherSliver) {

@@ -1,0 +1,228 @@
+// Unit tests for the availability-bucketed rendezvous candidate feed:
+// bucket filing, the double-buffered epoch hand-off, band targeting of
+// horizontal draws, f-weighted vertical draws, draw determinism, and the
+// end-to-end Discovery convergence the feed exists to deliver.
+#include "core/candidate_feed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "tests/core/test_world.hpp"
+
+namespace avmem::core {
+namespace {
+
+using testing::cyclicTrace;
+using testing::ManualWorld;
+using testing::twoLevelPredicate;
+
+/// Availabilities spread over (0, 1) for `n` hosts.
+std::vector<double> spreadAvailabilities(std::size_t n) {
+  std::vector<double> av(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    av[i] = 0.05 + 0.9 * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return av;
+}
+
+/// A feed over a hand-wired world; both slivers accept everything by
+/// default so the hash pre-filter (threshold 1) never suppresses a draw.
+struct FeedWorld {
+  explicit FeedWorld(AvmemPredicate pred, CandidateFeedConfig config = {},
+                     std::size_t hosts = 40)
+      : world(cyclicTrace(spreadAvailabilities(hosts)), std::move(pred)),
+        avs(spreadAvailabilities(hosts)),
+        feed((config.enabled = true, config), hosts, world.ctx, /*seed=*/99) {}
+
+  /// Publish every host under its spread availability and seal.
+  void publishAllAndSeal() {
+    for (net::NodeIndex i = 0; i < world.nodes.size(); ++i) {
+      feed.publish(i, avs[i]);
+    }
+    feed.sealEpoch();
+  }
+
+  ManualWorld world;
+  std::vector<double> avs;
+  CandidateFeed feed;
+};
+
+TEST(CandidateFeedTest, EmptyUntilFirstSeal) {
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0));
+  std::vector<net::NodeIndex> out;
+  fw.feed.drawCandidates(0, 0.5, /*round=*/0, out);
+  EXPECT_TRUE(out.empty());
+
+  // Publications land in the building buffer: still invisible.
+  for (net::NodeIndex i = 0; i < fw.world.nodes.size(); ++i) {
+    fw.feed.publish(i, fw.avs[i]);
+  }
+  fw.feed.drawCandidates(0, 0.5, 0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fw.feed.directoryPopulation(), 0u);
+
+  fw.feed.sealEpoch();
+  EXPECT_EQ(fw.feed.directoryPopulation(), fw.world.nodes.size());
+  fw.feed.drawCandidates(0, 0.5, 0, out);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(CandidateFeedTest, EpochHandoffAgesOutSilentNodes) {
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0));
+  fw.publishAllAndSeal();
+  ASSERT_EQ(fw.feed.directoryPopulation(), fw.world.nodes.size());
+
+  // Second epoch: only even nodes republish. After the next seal the odd
+  // nodes (offline, say) must be gone from the readable snapshot.
+  for (net::NodeIndex i = 0; i < fw.world.nodes.size(); i += 2) {
+    fw.feed.publish(i, fw.avs[i]);
+  }
+  // Until the seal, the frozen population is the full first epoch.
+  EXPECT_EQ(fw.feed.directoryPopulation(), fw.world.nodes.size());
+  fw.feed.sealEpoch();
+  EXPECT_EQ(fw.feed.directoryPopulation(), fw.world.nodes.size() / 2);
+
+  std::vector<net::NodeIndex> out;
+  for (std::uint64_t round = 0; round < 16; ++round) {
+    fw.feed.drawCandidates(1, 0.5, round, out);
+  }
+  for (const auto y : out) {
+    EXPECT_EQ(y % 2, 0u) << "aged-out node " << y << " drawn";
+  }
+}
+
+TEST(CandidateFeedTest, RepublishWithinOneEpochSticksOnce) {
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0));
+  for (int k = 0; k < 5; ++k) fw.feed.publish(7, fw.avs[7]);
+  fw.feed.sealEpoch();
+  EXPECT_EQ(fw.feed.directoryPopulation(), 1u);
+}
+
+TEST(CandidateFeedTest, HorizontalDrawsStayNearTheBand) {
+  // vs f = 0: the vertical pre-filter threshold is 0, so every emitted
+  // candidate must come from the horizontal ±eps band (give or take one
+  // bucket of quantization at the edges).
+  CandidateFeedConfig config;
+  config.buckets = 32;
+  FeedWorld fw(twoLevelPredicate(1.0, 0.0, /*epsilon=*/0.1), config);
+  fw.publishAllAndSeal();
+
+  const double selfAv = 0.5;
+  const double bucketWidth = 1.0 / 32.0;
+  std::vector<net::NodeIndex> out;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    fw.feed.drawCandidates(0, selfAv, round, out);
+  }
+  ASSERT_FALSE(out.empty());
+  for (const auto y : out) {
+    EXPECT_LT(std::abs(fw.avs[y] - selfAv), 0.1 + bucketWidth)
+        << "candidate " << y << " (av " << fw.avs[y]
+        << ") outside the horizontal band";
+  }
+}
+
+TEST(CandidateFeedTest, VerticalDrawsAvoidTheBand) {
+  // hs f = 0: only out-of-band (vertical) buckets can emit.
+  CandidateFeedConfig config;
+  config.buckets = 32;
+  FeedWorld fw(twoLevelPredicate(0.0, 1.0, /*epsilon=*/0.1), config);
+  fw.publishAllAndSeal();
+
+  const double selfAv = 0.5;
+  const double bucketWidth = 1.0 / 32.0;
+  std::vector<net::NodeIndex> out;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    fw.feed.drawCandidates(0, selfAv, round, out);
+  }
+  ASSERT_FALSE(out.empty());
+  for (const auto y : out) {
+    EXPECT_GT(std::abs(fw.avs[y] - selfAv), 0.1 - bucketWidth)
+        << "candidate " << y << " (av " << fw.avs[y]
+        << ") drawn from inside the band";
+  }
+}
+
+TEST(CandidateFeedTest, DrawsAreDeterministicPerNodeAndRound) {
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0));
+  fw.publishAllAndSeal();
+
+  std::vector<net::NodeIndex> a;
+  std::vector<net::NodeIndex> b;
+  fw.feed.drawCandidates(3, 0.5, /*round=*/4, a);
+  fw.feed.drawCandidates(3, 0.5, /*round=*/4, b);
+  EXPECT_EQ(a, b);
+
+  // Different rounds draw from different stream counters; over several
+  // rounds the union must exceed one round's yield (coverage advances).
+  std::set<net::NodeIndex> unionSet(a.begin(), a.end());
+  for (std::uint64_t round = 5; round < 12; ++round) {
+    std::vector<net::NodeIndex> c;
+    fw.feed.drawCandidates(3, 0.5, round, c);
+    unionSet.insert(c.begin(), c.end());
+  }
+  EXPECT_GT(unionSet.size(), a.size());
+}
+
+TEST(CandidateFeedTest, NeverEmitsSelfDuplicatesOrSeededEntries) {
+  CandidateFeedConfig config;
+  config.maxCandidates = 64;  // plenty of room to expose duplicates
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0), config);
+  fw.publishAllAndSeal();
+
+  // Seed the buffer the way the engine does: with the coarse view.
+  const std::vector<net::NodeIndex> view = {1, 2, 3, 4, 5};
+  std::vector<net::NodeIndex> out = view;
+  fw.feed.drawCandidates(3, 0.5, /*round=*/0, out);
+
+  std::set<net::NodeIndex> seen;
+  for (const auto y : out) {
+    EXPECT_TRUE(seen.insert(y).second) << "duplicate candidate " << y;
+  }
+  for (std::size_t k = view.size(); k < out.size(); ++k) {
+    EXPECT_NE(out[k], 3u) << "feed emitted the drawing node itself";
+    EXPECT_TRUE(std::find(view.begin(), view.end(), out[k]) == view.end())
+        << "feed re-emitted coarse-view entry " << out[k];
+  }
+}
+
+TEST(CandidateFeedTest, MaxCandidatesCapsTheRound) {
+  CandidateFeedConfig config;
+  config.maxCandidates = 4;
+  FeedWorld fw(twoLevelPredicate(1.0, 1.0), config);
+  fw.publishAllAndSeal();
+
+  std::vector<net::NodeIndex> out;
+  fw.feed.drawCandidates(0, 0.5, 0, out);
+  EXPECT_LE(out.size(), 4u);
+}
+
+TEST(CandidateFeedTest, DiscoveryConvergesWithTheFeedAtScale) {
+  // The end-to-end point of the feature: the same scale scenario, with
+  // and without the feed, after a 30-minute warm-up. The feed must lift
+  // the mean HS+VS degree past the convergence floor the coarse view
+  // alone cannot reach.
+  const auto run = [](bool enabled) {
+    auto scenario = makeScaleScenario(2'000, /*seed=*/20070101);
+    scenario.config.candidateFeed.enabled = enabled;
+    AvmemSimulation system(scenario.config);
+    system.warmup(sim::SimDuration::minutes(30));
+    double degree = 0.0;
+    for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+      degree += static_cast<double>(system.node(i).degree());
+    }
+    return degree / static_cast<double>(system.nodeCount());
+  };
+
+  const double without = run(false);
+  const double with = run(true);
+  EXPECT_GE(with, 8.0);
+  EXPECT_GE(with, 2.0 * without)
+      << "feed-on degree " << with << " vs feed-off " << without;
+}
+
+}  // namespace
+}  // namespace avmem::core

@@ -34,6 +34,7 @@ struct RunFingerprint {
     return engine.discoveryRounds == o.engine.discoveryRounds &&
            engine.refreshRounds == o.engine.refreshRounds &&
            engine.skippedOffline == o.engine.skippedOffline &&
+           engine.feedCandidates == o.engine.feedCandidates &&
            nodeTotals.discoveryRounds == o.nodeTotals.discoveryRounds &&
            nodeTotals.refreshRounds == o.nodeTotals.refreshRounds &&
            nodeTotals.neighborsDiscovered ==
@@ -173,6 +174,55 @@ TEST(ParallelEngineTest, ShuffleHeavyRunIsThreadCountInvariant) {
   EXPECT_TRUE(two == serial) << "threads=2 diverged from the serial run";
 
   RunFingerprint eight = runShuffleHeavy(8);
+  EXPECT_EQ(eight.effectiveThreads, 8u);
+  eight.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(eight == serial) << "threads=8 diverged from the serial run";
+}
+
+TEST(ParallelEngineTest, CandidateFeedRunIsThreadCountInvariant) {
+  // Feed-dominated workload: cranked scan budgets make the rendezvous
+  // draws the bulk of every discovery plan. Draws run concurrently in the
+  // plan phase but come from counter-based streams over a frozen
+  // snapshot, and publications/seals live on the serial side — slivers,
+  // feed counters, and the directory itself must not depend on the
+  // thread count.
+  auto runFeedHeavy = [](std::size_t threads) {
+    auto scenario = makeScaleScenario(2'000, /*seed=*/67);
+    scenario.config.candidateFeed.horizontalScanBudget = 256;
+    scenario.config.candidateFeed.verticalScanBudget = 128;
+    scenario.config.maintenanceThreads = threads;
+    AvmemSimulation system(scenario.config);
+    system.warmup(sim::SimDuration::minutes(40));
+
+    RunFingerprint fp;
+    fp.effectiveThreads = system.maintenanceThreads();
+    fp.engine = system.membershipEngine().stats();
+    for (net::NodeIndex i = 0; i < system.nodeCount(); ++i) {
+      const AvmemNode& node = system.node(i);
+      ++fp.degreeHistogram[node.degree()];
+      for (const auto& entry : node.horizontalSliver().snapshot()) {
+        fp.sliverDigest = mix(fp.sliverDigest, entry.peer);
+      }
+      for (const auto& entry : node.verticalSliver().snapshot()) {
+        fp.sliverDigest = mix(fp.sliverDigest, entry.peer);
+      }
+    }
+    const CandidateFeed* feed = system.candidateFeed();
+    fp.sliverDigest = mix(fp.sliverDigest, feed->directoryPopulation());
+    fp.sliverDigest = mix(fp.sliverDigest, feed->epochsSealed());
+    return fp;
+  };
+
+  const RunFingerprint serial = runFeedHeavy(1);
+  EXPECT_EQ(serial.effectiveThreads, 1u);
+  ASSERT_GT(serial.engine.feedCandidates, 0u);
+
+  RunFingerprint two = runFeedHeavy(2);
+  EXPECT_EQ(two.effectiveThreads, 2u);
+  two.effectiveThreads = serial.effectiveThreads;
+  EXPECT_TRUE(two == serial) << "threads=2 diverged from the serial run";
+
+  RunFingerprint eight = runFeedHeavy(8);
   EXPECT_EQ(eight.effectiveThreads, 8u);
   eight.effectiveThreads = serial.effectiveThreads;
   EXPECT_TRUE(eight == serial) << "threads=8 diverged from the serial run";

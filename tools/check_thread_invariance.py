@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Assert two scale_sweep --json outputs are stat-identical.
 
-Usage: check_thread_invariance.py A.json B.json
+Usage: check_thread_invariance.py [--min-mean-degree X] A.json B.json
 
 Parallel plan dispatch must not change any simulation-visible statistic —
 only wall-clock fields (build_s, warmup_s, events_per_s, batch_s) and the
 reported thread count may differ between runs. CI runs the smoke sweep at
 threads=1 and threads=4 and gates on this script.
+
+--min-mean-degree X additionally gates Discovery convergence: every point
+of both runs must report mean_degree >= X (the candidate-feed floor; a
+regression that starves Discovery fails the smoke job even if both runs
+starve identically).
 """
 import json
 import sys
@@ -21,17 +26,27 @@ INVARIANT_KEYS = (
     "completed_shuffles",
     "view_digest",
     "mean_degree",
+    "hs_degree",
+    "feed_candidates",
     "anycasts",
     "delivered_fraction",
 )
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    min_mean_degree = None
+    if args and args[0] == "--min-mean-degree":
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        min_mean_degree = float(args[1])
+        args = args[2:]
+    if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
     runs = []
-    for path in sys.argv[1:3]:
+    for path in args:
         with open(path, encoding="utf-8") as f:
             runs.append(json.load(f))
     a, b = (run["points"] for run in runs)
@@ -49,12 +64,26 @@ def main() -> int:
                     file=sys.stderr,
                 )
                 failures += 1
+    if min_mean_degree is not None:
+        for i, p in enumerate(a + b):
+            if p["mean_degree"] < min_mean_degree:
+                print(
+                    f"point {i % len(a)} ({p['n']} nodes, "
+                    f"threads={p['threads']}): mean_degree "
+                    f"{p['mean_degree']} below the convergence floor "
+                    f"{min_mean_degree}",
+                    file=sys.stderr,
+                )
+                failures += 1
     if failures:
         return 1
-    print(
+    msg = (
         f"{len(a)} point(s) stat-identical across threads="
         f"{a[0]['threads']} and threads={b[0]['threads']}"
     )
+    if min_mean_degree is not None:
+        msg += f"; mean_degree >= {min_mean_degree} everywhere"
+    print(msg)
     return 0
 
 
