@@ -5,9 +5,13 @@
 // the predicate-evaluation budget quoted in DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hash/fast64_batch.hpp"
 #include "hash/md5.hpp"
 #include "hash/pair_hash.hpp"
 #include "hash/sha1.hpp"
@@ -75,6 +79,68 @@ void BM_Fast64Pair(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Fast64Pair);
+
+// The batched kFast64 lane used by the vectorized plan kernels: one node's
+// hash against a whole candidate run. Arg = run length.
+void BM_Fast64HashMany(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(21);
+  std::vector<std::uint64_t> tails(n);
+  for (auto& t : tails) {
+    t = hashing::fast64Tail6(static_cast<std::uint32_t>(rng.next()),
+                             static_cast<std::uint16_t>(rng.next()));
+  }
+  const hashing::Fast64PairBatch batch(
+      42, hashing::fast64Tail6(0x0A000001u, 1234));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    batch.hashMany(tails, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fast64HashMany)->Arg(32)->Arg(512);
+
+// Scalar-vs-batched on the same inputs, ratio reported as a counter
+// ("scalar_over_batched" > 1 means the batch lane wins). This is the
+// per-candidate cost delta the plan-phase pre-filter banks on.
+void BM_Fast64BatchSpeedup(benchmark::State& state) {
+  constexpr std::size_t kRun = 512;
+  sim::Rng rng(22);
+  const std::array<std::uint8_t, 6> self{10, 0, 0, 1, 4, 210};
+  std::vector<std::array<std::uint8_t, 6>> ids(kRun);
+  std::vector<std::uint64_t> tails(kRun);
+  for (std::size_t i = 0; i < kRun; ++i) {
+    for (auto& b : ids[i]) b = static_cast<std::uint8_t>(rng.next());
+    std::uint64_t tail = 1;
+    for (const std::uint8_t b : ids[i]) tail = (tail << 8) | b;
+    tails[i] = tail;
+  }
+  const std::uint64_t selfTail = hashing::fast64Tail6(0x0A000001u, 1234);
+  const hashing::Fast64PairBatch batch(42, selfTail);
+  std::vector<double> out(kRun);
+  double scalarNs = 0.0;
+  double batchNs = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t acc = 0;
+    for (const auto& id : ids) acc ^= hashing::fast64Pair(42, self, id);
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    batch.hashMany(tails, out);
+    benchmark::DoNotOptimize(out.data());
+    const auto t2 = std::chrono::steady_clock::now();
+    scalarNs += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    batchNs += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  state.counters["scalar_over_batched"] =
+      batchNs > 0.0 ? scalarNs / batchNs : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kRun));
+}
+BENCHMARK(BM_Fast64BatchSpeedup);
 
 void BM_CachedPairHash(benchmark::State& state) {
   hashing::CachingPairHasher cache;

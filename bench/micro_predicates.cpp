@@ -2,6 +2,10 @@
 // family, and the PDF-derived quantities behind them.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
 #include "core/predicates.hpp"
 #include "hash/pair_hash.hpp"
 #include "sim/random.hpp"
@@ -51,6 +55,61 @@ void BM_NStarMinAv(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NStarMinAv);
+
+// Batch predicate kernels vs their scalar forms over a realistic candidate
+// run; ratio reported as "scalar_over_batched". These are the exact loops
+// the vectorized plan phase replaces per maintenance firing.
+void BM_EvaluateBatchSpeedup(benchmark::State& state) {
+  constexpr std::size_t kRun = 512;
+  const auto pdf = benchPdf();
+  const auto pred = makePaperDefaultPredicate(pdf);
+  sim::Rng rng(14);
+  const double ax = rng.uniform();
+  std::vector<double> hashes(kRun);
+  std::vector<double> ays(kRun);
+  for (std::size_t i = 0; i < kRun; ++i) {
+    hashes[i] = rng.uniform();
+    ays[i] = rng.uniform();
+  }
+  std::vector<std::uint8_t> out(kRun);
+  double scalarNs = 0.0;
+  double batchNs = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < kRun; ++i) {
+      acc += pred.evaluate(hashes[i], ax, ays[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    pred.evaluateMany(hashes, ax, ays, 0.0, out);
+    benchmark::DoNotOptimize(out.data());
+    const auto t2 = std::chrono::steady_clock::now();
+    scalarNs += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    batchNs += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  state.counters["scalar_over_batched"] =
+      batchNs > 0.0 ? scalarNs / batchNs : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kRun));
+}
+BENCHMARK(BM_EvaluateBatchSpeedup);
+
+// The candidate feed's branch-free admission pre-filter over a hash run.
+void BM_AdmissionMask(benchmark::State& state) {
+  constexpr std::size_t kRun = 512;
+  sim::Rng rng(15);
+  std::vector<double> hashes(kRun);
+  for (auto& h : hashes) h = rng.uniform();
+  std::vector<std::uint8_t> mask(kRun);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(admissionMask(hashes, 0.013, mask));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRun));
+}
+BENCHMARK(BM_AdmissionMask);
 
 void BM_FullMembershipEvaluation(benchmark::State& state) {
   // The complete Discovery-path check: pair hash + predicate threshold.

@@ -33,7 +33,9 @@
 // merge membership tests are binary searches instead of O(viewSize) scans.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -64,6 +66,11 @@ struct ShuffleConfig {
   /// this quantum so records coalesce into batches the drain can plan in
   /// parallel. 0 = exact delivery instants (no batching beyond ties).
   sim::SimDuration deliveryQuantum = sim::SimDuration::millis(20);
+  /// Pipelined dispatch for the initiation wheel (see sharded_scheduler):
+  /// when enabled, the next slot's exchange plans are speculated while the
+  /// current slot's requests are being committed. Delivery drains also
+  /// stream their commits behind the group plan fan-out.
+  sim::PipelineOptions pipeline;
 };
 
 /// Owns every node's coarse view and drives the periodic exchanges.
@@ -108,6 +115,12 @@ class ShuffleService final : public net::ShuffleSink {
   /// gates (parallel_engine_test, the CI scale-sweep JSON diff) compare
   /// this one implementation so they cannot drift apart.
   [[nodiscard]] std::uint64_t viewDigest() const noexcept;
+
+  /// The initiation wheel — exposes plan-wall samples and pipeline
+  /// counters for the scale-sweep report.
+  [[nodiscard]] const sim::ShardedScheduler& scheduler() const noexcept {
+    return schedule_;
+  }
 
   /// Host wall-clock spent in the parallelizable plan phases — initiation
   /// slot firings plus delivery-batch group planning — since start().
@@ -209,6 +222,7 @@ class ShuffleService final : public net::ShuffleSink {
   std::size_t gossipLength_;
   sim::SimDuration period_;
   std::size_t shards_;
+  sim::PipelineOptions pipeline_;
   sim::Rng rng_;
   sim::WorkerPool* pool_;
   std::vector<std::vector<net::NodeIndex>> views_;  ///< each sorted ascending
@@ -223,6 +237,11 @@ class ShuffleService final : public net::ShuffleSink {
   std::vector<std::uint32_t> orderScratch_;
   std::vector<std::uint32_t> groupOf_;
   std::vector<std::uint32_t> groupCursor_;
+  /// Streaming-drain completion flags (one per group), grow-only.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> planDone_;
+  std::size_t planDoneCap_ = 0;
+  sim::WorkerPool::TaskFn planGroupFn_;
+  bool pipelineDrains_ = false;
   std::uint64_t drainPlanNs_ = 0;
   std::uint64_t drainCommitNs_ = 0;
   std::uint64_t completedShuffles_ = 0;

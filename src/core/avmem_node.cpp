@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "hash/fast64_batch.hpp"
+
 namespace avmem::core {
 
 std::vector<NeighborEntry> AvmemNode::neighbors(SliverSet set) const {
@@ -46,10 +48,44 @@ MaintenancePlan::PeerEval AvmemNode::planEvaluatePeer(
 void AvmemNode::planDiscovery(std::span<const NodeIndex> view,
                               MaintenancePlan& plan) const {
   const double effSelf = planSelfAvailability(plan);
+  if (ctx_->batchHashReady()) {
+    planDiscoveryBatch(view, effSelf, plan);
+    return;
+  }
   for (const NodeIndex peer : view) {
     if (peer == self_ || knows(peer)) continue;
     const auto ev = planEvaluatePeer(peer, effSelf, plan);
     if (ev.known && ev.member) plan.evals.push_back(ev);
+  }
+}
+
+void AvmemNode::planDiscoveryBatch(std::span<const NodeIndex> view,
+                                   double effSelf,
+                                   MaintenancePlan& plan) const {
+  const std::size_t n = view.size();
+  plan.tailScratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.tailScratch[i] = ctx_->idTails[view[i]];
+  }
+  plan.hashScratch.resize(n);
+  const hashing::Fast64PairBatch batch(ctx_->pairHash.seed(),
+                                       ctx_->idTails[self_]);
+  batch.hashMany(plan.tailScratch, plan.hashScratch);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeIndex peer = view[i];
+    if (peer == self_ || knows(peer)) continue;
+    ++plan.availabilityQueries;
+    const auto peerAv = ctx_->availability.query(self_, peer);
+    if (!peerAv) continue;
+    MaintenancePlan::PeerEval ev;
+    ev.peer = peer;
+    ev.known = true;
+    ev.av = *peerAv;
+    ev.kind = ctx_->predicate.classify(effSelf, ev.av);
+    ev.member =
+        ctx_->predicate.evaluate(plan.hashScratch[i], effSelf, ev.av);
+    if (ev.member) plan.evals.push_back(ev);
   }
 }
 
@@ -92,12 +128,62 @@ void AvmemNode::commitAdopt(const MaintenancePlan& plan) {
 
 void AvmemNode::planRefresh(MaintenancePlan& plan) const {
   const double effSelf = planSelfAvailability(plan);
+  if (ctx_->batchHashReady()) {
+    planRefreshSliverBatch(hs_.peers(), effSelf, plan);
+    plan.hsEvalCount = plan.evals.size();
+    planRefreshSliverBatch(vs_.peers(), effSelf, plan);
+    return;
+  }
   for (const NodeIndex peer : hs_.peers()) {
     plan.evals.push_back(planEvaluatePeer(peer, effSelf, plan));
   }
   plan.hsEvalCount = plan.evals.size();
   for (const NodeIndex peer : vs_.peers()) {
     plan.evals.push_back(planEvaluatePeer(peer, effSelf, plan));
+  }
+}
+
+void AvmemNode::planRefreshSliverBatch(std::span<const NodeIndex> peers,
+                                       double effSelf,
+                                       MaintenancePlan& plan) const {
+  const std::size_t n = peers.size();
+  if (n == 0) return;
+  plan.tailScratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.tailScratch[i] = ctx_->idTails[peers[i]];
+  }
+  plan.hashScratch.resize(n);
+  const hashing::Fast64PairBatch batch(ctx_->pairHash.seed(),
+                                       ctx_->idTails[self_]);
+  batch.hashMany(plan.tailScratch, plan.hashScratch);
+
+  // Service queries stay sequential (the query order is part of the
+  // deterministic contract); their answers land in contiguous arrays so
+  // the classify and threshold passes below are straight-line loops.
+  plan.avScratch.resize(n);
+  plan.knownScratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++plan.availabilityQueries;
+    const auto av = ctx_->availability.query(self_, peers[i]);
+    plan.knownScratch[i] = av.has_value() ? 1 : 0;
+    plan.avScratch[i] = av.value_or(0.0);
+  }
+  plan.kindScratch.resize(n);
+  ctx_->predicate.classifyMany(effSelf, plan.avScratch, plan.kindScratch);
+  plan.memberScratch.resize(n);
+  ctx_->predicate.evaluateMany(plan.hashScratch, effSelf, plan.avScratch,
+                               /*cushion=*/0.0, plan.memberScratch);
+
+  const std::size_t base = plan.evals.size();
+  plan.evals.resize(base + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MaintenancePlan::PeerEval& ev = plan.evals[base + i];
+    ev.peer = peers[i];
+    if (plan.knownScratch[i] == 0) continue;  // default eval = unknown
+    ev.known = true;
+    ev.av = plan.avScratch[i];
+    ev.kind = plan.kindScratch[i];
+    ev.member = plan.memberScratch[i] != 0;
   }
 }
 

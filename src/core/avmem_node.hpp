@@ -28,10 +28,24 @@ struct ProtocolContext {
   const std::vector<NodeId>& ids;
   hashing::CachingPairHasher& pairHash;
   ProtocolConfig config;
+  /// Precomputed fast64 absorb tails of every id (idTails[i] =
+  /// fast64Tail6(ids[i])), filled by the simulation harness when the pair
+  /// hash is kFast64 and left empty otherwise. Plan-phase batch kernels
+  /// key off batchHashReady(): when set, hashOf(a, b) ==
+  /// Fast64PairBatch(pairHash.seed(), idTails[a]).one(idTails[b]) bit for
+  /// bit (tests/hash/fast64_batch_test.cpp), so the hot scans hash whole
+  /// candidate spans in two mixes per pair instead of dispatching through
+  /// the general absorb path.
+  std::vector<std::uint64_t> idTails{};
 
   /// H(id(a), id(b)) through the shared memoizing hasher.
   [[nodiscard]] double hashOf(NodeIndex a, NodeIndex b) const {
     return pairHash.hash(orderedPairKey(a, b), ids[a].bytes(), ids[b].bytes());
+  }
+
+  /// True when the batched kFast64 lane may replace hashOf().
+  [[nodiscard]] bool batchHashReady() const noexcept {
+    return !idTails.empty();
   }
 };
 
@@ -68,6 +82,18 @@ struct MaintenancePlan {
   /// overlay): every view peer with an estimate.
   std::vector<PeerEval> evals;
   std::size_t hsEvalCount = 0;  ///< refresh only: evals[0, hsEvalCount) = HS
+
+  /// Scratch for the batched plan kernels (gathered hash tails, hashes,
+  /// availabilities, classifications, membership bits over a contiguous
+  /// candidate span). Lane-private like the plan itself; resized before
+  /// every use, so reset() leaves them alone and their capacity survives
+  /// across firings.
+  std::vector<std::uint64_t> tailScratch;
+  std::vector<double> hashScratch;
+  std::vector<double> avScratch;
+  std::vector<std::uint8_t> knownScratch;
+  std::vector<SliverKind> kindScratch;
+  std::vector<std::uint8_t> memberScratch;
 
   /// Ready the plan for reuse; keeps the evals capacity (the engine
   /// recycles lane buffers across slots to avoid allocation churn).
@@ -218,6 +244,23 @@ class AvmemNode {
   /// no estimate).
   [[nodiscard]] MaintenancePlan::PeerEval planEvaluatePeer(
       NodeIndex peer, double effSelf, MaintenancePlan& plan) const;
+
+  /// Batched-kernel form of the planDiscovery scan (kFast64 only): hash
+  /// the whole candidate span up front through the two-mix batch lane,
+  /// then evaluate survivors against the precomputed hashes. Value-
+  /// identical to the scalar loop — the hashes are bit-equal and the
+  /// evaluation order is unchanged; hashes of skipped candidates are
+  /// wasted work, cheaper than per-survivor dispatch.
+  void planDiscoveryBatch(std::span<const NodeIndex> view, double effSelf,
+                          MaintenancePlan& plan) const;
+
+  /// Batched-kernel form of one sliver's Refresh scan (kFast64 only):
+  /// batch-hash every neighbor, gather availabilities into a contiguous
+  /// array, then run the predicate's classifyMany/evaluateMany over it —
+  /// the vectorized eviction/reclassify scan. Appends one eval per peer
+  /// in list order, exactly as the scalar planEvaluatePeer loop does.
+  void planRefreshSliverBatch(std::span<const NodeIndex> peers,
+                              double effSelf, MaintenancePlan& plan) const;
 
   /// Commit-phase Refresh pass over `own`: evict dead entries in place,
   /// refresh live ones, collect entries that re-classified into the other

@@ -24,7 +24,8 @@ void MembershipEngine::start() {
       },
       [this](std::uint32_t i, std::size_t lane) {
         commitTick(Round::kDiscovery, i, lane);
-      });
+      },
+      config_.pipeline);
 
   // Refresh: every refresh period, re-validate both slivers (no-op for
   // the view overlay, whose list is rebuilt every round anyway).
@@ -37,11 +38,14 @@ void MembershipEngine::start() {
         },
         [this](std::uint32_t i, std::size_t lane) {
           commitTick(Round::kRefresh, i, lane);
-        });
+        },
+        config_.pipeline);
   }
 
-  lanes_.resize(std::max(discovery_.maxSlotPopulation(),
-                         refresh_.maxSlotPopulation()));
+  // laneSpan, not maxSlotPopulation: pipelined wheels address a doubled
+  // A/B lane space so an in-flight speculation never aliases the lanes
+  // being committed.
+  lanes_.resize(std::max(discovery_.laneSpan(), refresh_.laneSpan()));
   if (feed_) {
     candidateLanes_.resize(lanes_.size());
     laneFeedCounts_.assign(lanes_.size(), 0);

@@ -18,12 +18,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/availability_pdf.hpp"
 
 namespace avmem::core {
+
+/// Branch-free admission mask over a contiguous hash array:
+/// mask[i] = (hashes[i] <= threshold); returns the admitted count. The
+/// compare is a straight-line vectorizable loop, and the returned count
+/// lets scan consumers (the candidate feed's pre-filter) skip the
+/// per-entry emission pass entirely when nothing qualified — the common
+/// case for the low thresholds eq. 1 produces at scale. Requires
+/// mask.size() >= hashes.size().
+[[nodiscard]] inline std::size_t admissionMask(
+    std::span<const double> hashes, double threshold,
+    std::span<std::uint8_t> mask) noexcept {
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    const std::uint8_t in = hashes[i] <= threshold ? 1 : 0;
+    mask[i] = in;
+    admitted += in;
+  }
+  return admitted;
+}
 
 /// Which sliver a peer falls into relative to a node.
 enum class SliverKind : std::uint8_t {
@@ -271,6 +292,31 @@ class AvmemPredicate {
   [[nodiscard]] bool evaluate(double pairHash, double ax, double ay,
                               double cushion = 0.0) const {
     return pairHash <= f(ax, ay) + cushion;
+  }
+
+  /// Batch classify() over a contiguous availability array:
+  /// kinds[i] = classify(ax, ays[i]). A branch-free compare loop — the
+  /// reclassify half of the sliver refresh scan. Requires
+  /// kinds.size() >= ays.size().
+  void classifyMany(double ax, std::span<const double> ays,
+                    std::span<SliverKind> kinds) const noexcept {
+    for (std::size_t i = 0; i < ays.size(); ++i) {
+      kinds[i] = std::abs(ax - ays[i]) < epsilon_ ? SliverKind::kHorizontal
+                                                  : SliverKind::kVertical;
+    }
+  }
+
+  /// Batch evaluate() over parallel hash/availability arrays:
+  /// out[i] = evaluate(pairHashes[i], ax, ays[i], cushion), branch-free
+  /// on the threshold compare. Value-identical to the scalar form element
+  /// by element (same f calls, same comparison). Requires out.size() >=
+  /// ays.size() and pairHashes.size() >= ays.size().
+  void evaluateMany(std::span<const double> pairHashes, double ax,
+                    std::span<const double> ays, double cushion,
+                    std::span<std::uint8_t> out) const {
+    for (std::size_t i = 0; i < ays.size(); ++i) {
+      out[i] = pairHashes[i] <= f(ax, ays[i]) + cushion ? 1 : 0;
+    }
   }
 
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hash/fast64_batch.hpp"
 #include "net/latency.hpp"
 #include "trace/bitpacked_trace.hpp"
 #include "trace/markov_churn.hpp"
@@ -180,6 +181,14 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
 
   ctx_ = std::make_unique<ProtocolContext>(ProtocolContext{
       *sim_, *service_, *predicate_, ids_, *pairHash_, config.protocol});
+  if (pairHash_->algorithm() == hashing::PairHashAlgorithm::kFast64) {
+    // Precompute every identifier's 6-byte absorb tail so the plan-phase
+    // hot loops can use the batched hash lane (hash/fast64_batch.hpp).
+    ctx_->idTails.reserve(n);
+    for (const NodeId& id : ids_) {
+      ctx_->idTails.push_back(hashing::fast64Tail6(id.ip, id.port));
+    }
+  }
 
   nodes_.reserve(n);
   for (NodeIndex i = 0; i < n; ++i) {
@@ -203,6 +212,22 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
     pool_ = std::make_unique<sim::WorkerPool>(threads);
   }
 
+  // Pipelined dispatch: speculating slot k+1's plans while slot k commits
+  // requires a witness that the availability answers the speculation read
+  // are the ones a barrier plan would have read. The oracle answers are a
+  // pure function of the trace epoch, so epoch equality between the
+  // launch instant and the target slot's fire time is that witness; the
+  // other backends mutate per-query state (noisy staleness caches, AVMON
+  // monitor overlays), so they stay in barrier mode.
+  sim::PipelineOptions pipeline;
+  pipeline.enabled = config.pipelinedDispatch &&
+                     config.backend == AvailabilityBackend::kOracle;
+  if (pipeline.enabled) {
+    pipeline.snapshotStable = [tracePtr](sim::SimTime at, sim::SimTime fire) {
+      return tracePtr->epochAt(at) == tracePtr->epochAt(fire);
+    };
+  }
+
   // The shuffle service shares the pool: its plan phase reads only the
   // node's own view, the churn oracle (concurrency-safe in every trace
   // backend), and counter-based RNG streams.
@@ -210,6 +235,7 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   if (shuffleConfig.shards == 0) {
     shuffleConfig.shards = config.maintenanceShards;
   }
+  shuffleConfig.pipeline = pipeline;
   shuffle_ = std::make_unique<avmon::ShuffleService>(
       *sim_, *network_, n, shuffleConfig, rng_.fork("shuffle"), pool_.get());
 
@@ -230,6 +256,7 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
   engineConfig.refreshPeriod = config.protocol.refreshPeriod;
   engineConfig.shards = config.maintenanceShards;
   engineConfig.coarseViewOverlay = config.useCoarseViewOverlay;
+  engineConfig.pipeline = pipeline;
   auto* shufflePtr = shuffle_.get();
   MembershipEngine::FeedFn feedFn;
   MembershipEngine::PublishFn publishFn;

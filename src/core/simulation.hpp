@@ -135,6 +135,16 @@ struct SimulationConfig {
   /// (results are identical either way; only wall-clock changes).
   /// Scenario builders honor the AVMEM_THREADS environment override.
   std::size_t maintenanceThreads = 1;
+
+  /// Two-stage pipelined maintenance dispatch (docs/ARCHITECTURE.md
+  /// "Pipelined dispatch"): while one timing-wheel slot's commits run on
+  /// the main thread, the next slot's plan phase is speculated against
+  /// the frozen availability epoch. Only takes effect with the kOracle
+  /// backend (its answers are epoch-granular, so a snapshot-stability
+  /// witness exists); other backends silently run barrier mode. Results
+  /// are bit-identical either way. Scenario builders honor the
+  /// AVMEM_PIPELINE environment override (0/1).
+  bool pipelinedDispatch = false;
 };
 
 /// Availability band used to pick initiators (paper Section 4.2:

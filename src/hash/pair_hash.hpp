@@ -122,6 +122,9 @@ class CachingPairHasher {
   [[nodiscard]] PairHashAlgorithm algorithm() const noexcept {
     return hasher_.algorithm();
   }
+  /// The kFast64 seed (ignored by digest backends) — batch kernels
+  /// (hash/fast64_batch.hpp) need it to reproduce hash() exactly.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return hasher_.seed(); }
 
   /// True when hash() may be called concurrently: kFast64 bypasses the
   /// memo map entirely, so there is no shared mutable state on its path.

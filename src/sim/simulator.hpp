@@ -69,6 +69,12 @@ class Simulator {
     }
   }
 
+  /// True iff the earliest live event in the queue is the one `h`
+  /// tracks (see EventQueue::nextIs) — the pipelined dispatch fence.
+  [[nodiscard]] bool nextEventIs(const EventHandle& h) {
+    return queue_.nextIs(h);
+  }
+
   [[nodiscard]] std::uint64_t executedEvents() const noexcept {
     return executed_;
   }
@@ -101,6 +107,7 @@ class PeriodicTask {
     sim_ = &sim;
     period_ = period;
     fn_ = std::move(fn);
+    nextFireAt_ = firstAt;
     handle_ = sim_->scheduleAt(firstAt, [this] { fire(); });
   }
 
@@ -112,10 +119,22 @@ class PeriodicTask {
 
   [[nodiscard]] bool running() const noexcept { return sim_ != nullptr; }
 
+  /// Handle of the pending next firing. Because fire() reschedules
+  /// before invoking `fn_`, this is valid even while `fn_` runs — which
+  /// is what lets one slot's firing ask the simulator whether another
+  /// slot's timer is the next live event (Simulator::nextEventIs).
+  [[nodiscard]] const EventHandle& pendingHandle() const noexcept {
+    return handle_;
+  }
+  /// Simulated time of the pending next firing (meaningful while
+  /// running()).
+  [[nodiscard]] SimTime nextFireAt() const noexcept { return nextFireAt_; }
+
  private:
   void fire() {
     if (sim_ == nullptr) return;
     // Reschedule before invoking so `fn_` may call stop().
+    nextFireAt_ = sim_->now() + period_;
     handle_ = sim_->schedule(period_, [this] { fire(); });
     fn_();
   }
@@ -124,6 +143,7 @@ class PeriodicTask {
   SimDuration period_ = SimDuration::zero();
   std::function<void()> fn_;
   EventHandle handle_;
+  SimTime nextFireAt_ = SimTime::zero();
 };
 
 }  // namespace avmem::sim

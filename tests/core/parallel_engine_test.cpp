@@ -59,9 +59,13 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-RunFingerprint runScale(std::uint32_t hosts, std::size_t threads) {
+RunFingerprint runScale(std::uint32_t hosts, std::size_t threads,
+                        bool pipelined = true) {
   auto scenario = makeScaleScenario(hosts, /*seed=*/77);
   scenario.config.maintenanceThreads = threads;
+  // Pin explicitly so an AVMEM_PIPELINE in the test environment cannot
+  // change what this run measures.
+  scenario.config.pipelinedDispatch = pipelined;
 
   AvmemSimulation system(scenario.config);
   system.warmup(sim::SimDuration::minutes(30));
@@ -127,6 +131,25 @@ TEST(ParallelEngineTest, ScaleRunIsThreadCountInvariant) {
   eight.effectiveThreads = serial.effectiveThreads;
   EXPECT_TRUE(eight == serial)
       << "threads=8 diverged from the serial run";
+}
+
+TEST(ParallelEngineTest, PipelinedDispatchIsBitIdenticalToBarrier) {
+  // The tentpole acceptance gate: two-stage pipelined dispatch (slot k+1
+  // plans speculated against the frozen epoch while slot k commits) must
+  // produce byte-identical runs to barrier mode at every thread count.
+  // ScaleRunIsThreadCountInvariant covers pipelined {1, 2, 8} against
+  // pipelined serial; this covers barrier {1, 2, 8} against the same
+  // pipelined serial fingerprint, closing the {mode} x {threads} matrix.
+  const RunFingerprint pipelined = runScale(10'000, 1, /*pipelined=*/true);
+  ASSERT_GT(pipelined.engine.discoveryRounds, 0u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    RunFingerprint barrier = runScale(10'000, threads, /*pipelined=*/false);
+    barrier.effectiveThreads = pipelined.effectiveThreads;
+    EXPECT_TRUE(barrier == pipelined)
+        << "barrier mode at threads=" << threads
+        << " diverged from the pipelined serial run";
+  }
 }
 
 TEST(ParallelEngineTest, UnsafeBackendsClampToSerial) {

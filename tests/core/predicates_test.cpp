@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "core/node_id.hpp"
 #include "hash/pair_hash.hpp"
@@ -143,6 +145,63 @@ TEST(CompositePredicateTest, EvaluateThresholdAndCushion) {
   EXPECT_TRUE(pred.evaluate(0.50, 0.5, 0.5));  // <= boundary accepted
   EXPECT_FALSE(pred.evaluate(0.51, 0.5, 0.5));
   EXPECT_TRUE(pred.evaluate(0.51, 0.5, 0.5, /*cushion=*/0.1));
+}
+
+// --- Batch kernels ----------------------------------------------------------
+
+TEST(BatchKernelTest, AdmissionMaskMatchesScalarCompare) {
+  sim::Rng rng(23);
+  for (const double threshold : {0.0, 0.013, 0.5, 1.0}) {
+    std::vector<double> hashes(137);
+    for (auto& h : hashes) h = rng.uniform();
+    hashes[5] = threshold;  // boundary: <= admits
+    std::vector<std::uint8_t> mask(hashes.size(), 0xFF);
+    const std::size_t admitted = admissionMask(hashes, threshold, mask);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      const std::uint8_t want = hashes[i] <= threshold ? 1 : 0;
+      ASSERT_EQ(mask[i], want) << "threshold " << threshold << " i=" << i;
+      expected += want;
+    }
+    EXPECT_EQ(admitted, expected);
+  }
+}
+
+TEST(BatchKernelTest, ClassifyManyMatchesClassify) {
+  const auto pred = makePaperDefaultPredicate(uniformPdf(), 0.125);
+  sim::Rng rng(29);
+  const double ax = 0.5;
+  std::vector<double> ays(200);
+  for (auto& ay : ays) ay = rng.uniform();
+  ays[0] = 0.625;  // exact epsilon boundary stays vertical
+  std::vector<SliverKind> kinds(ays.size());
+  pred.classifyMany(ax, ays, kinds);
+  for (std::size_t i = 0; i < ays.size(); ++i) {
+    ASSERT_EQ(kinds[i], pred.classify(ax, ays[i])) << "i=" << i;
+  }
+}
+
+TEST(BatchKernelTest, EvaluateManyMatchesEvaluate) {
+  // Real paper-default predicate so both sliver sub-predicates (and the
+  // epsilon routing between them) are exercised, not a constant stub.
+  const auto pred = makePaperDefaultPredicate(skewedPdf(), 0.1);
+  sim::Rng rng(31);
+  for (const double cushion : {0.0, 0.05}) {
+    const double ax = rng.uniform();
+    std::vector<double> hashes(300);
+    std::vector<double> ays(hashes.size());
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      hashes[i] = rng.uniform();
+      ays[i] = rng.uniform();
+    }
+    std::vector<std::uint8_t> out(hashes.size(), 0xFF);
+    pred.evaluateMany(hashes, ax, ays, cushion, out);
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      const std::uint8_t want =
+          pred.evaluate(hashes[i], ax, ays[i], cushion) ? 1 : 0;
+      ASSERT_EQ(out[i], want) << "cushion " << cushion << " i=" << i;
+    }
+  }
 }
 
 // --- Property sweeps (TEST_P) ----------------------------------------------

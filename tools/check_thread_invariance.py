@@ -56,16 +56,35 @@ def main() -> int:
     failures = 0
     for i, (pa, pb) in enumerate(zip(a, b)):
         for key in INVARIANT_KEYS:
+            # A key absent from either run is its own loud failure: a
+            # silently-renamed or dropped JSON field must not read as
+            # "no divergence" (nor crash with a bare KeyError).
+            missing = [
+                name
+                for name, point in (("A", pa), ("B", pb))
+                if key not in point
+            ]
+            if missing:
+                print(
+                    f"point {i}: invariant key '{key}' missing from "
+                    f"run(s) {', '.join(missing)} — scale_sweep JSON "
+                    "schema changed?",
+                    file=sys.stderr,
+                )
+                failures += 1
+                continue
             if pa[key] != pb[key]:
                 print(
-                    f"point {i} ({pa['n']} nodes): '{key}' diverged: "
-                    f"{pa[key]} (threads={pa['threads']}) vs "
-                    f"{pb[key]} (threads={pb['threads']})",
+                    f"point {i} ({pa.get('n', '?')} nodes): '{key}' "
+                    f"diverged: {pa[key]} (threads={pa.get('threads', '?')}) "
+                    f"vs {pb[key]} (threads={pb.get('threads', '?')})",
                     file=sys.stderr,
                 )
                 failures += 1
     if min_mean_degree is not None:
         for i, p in enumerate(a + b):
+            if "mean_degree" not in p:
+                continue  # already reported as a missing invariant key
             if p["mean_degree"] < min_mean_degree:
                 print(
                     f"point {i % len(a)} ({p['n']} nodes, "
