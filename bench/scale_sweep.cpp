@@ -19,10 +19,18 @@
 //
 // Usage:
 //   scale_sweep [--smoke] [--json out.json]
+//               [--checkpoint-out warm.avmem] [--checkpoint-in warm.avmem]
 //     --smoke       AVMEM_FAST=1 footprint
 //     --json PATH   additionally write machine-readable per-point results
 //                   (CI stores this as BENCH_scale.json to track the perf
 //                   trajectory across PRs)
+//     --checkpoint-out PATH  save a warm-state checkpoint at the end of
+//                   each point's warm-up (snapshot/checkpoint.hpp); with
+//                   several N the path gets a ".N<hosts>" suffix per point
+//     --checkpoint-in PATH   skip the warm-up: restore the warm state from
+//                   PATH instead (same per-point suffix rule). The restore
+//                   wall is reported as restore_s; every simulation-visible
+//                   statistic is bit-identical to the run that saved it
 //
 // Environment:
 //   AVMEM_SCALE_NS        comma list of population sizes
@@ -37,6 +45,8 @@
 //                         this to gate the batched shuffle path)
 //   AVMEM_PIPELINE        1 = pipelined plan/commit dispatch (the scale
 //                         default), 0 = barrier mode (CI diffs the two)
+//   AVMEM_CHECKPOINT      like --checkpoint-in (the flag wins)
+//   AVMEM_CHECKPOINT_OUT  like --checkpoint-out (the flag wins)
 //   AVMEM_FAST=1          smoke footprint: "2000" nodes, 30 min warm-up
 #include <algorithm>
 #include <chrono>
@@ -89,13 +99,26 @@ std::vector<std::uint32_t> populationSizes(bool fast) {
 }
 
 /// One sweep point, as printed and as serialized to --json.
+///
+/// The JSON record is self-contained on purpose: seed, trace backend, and
+/// the shuffle/feed knob values ride along per point so two archived runs
+/// can be diffed (tools/check_thread_invariance.py) without reconstructing
+/// the environment that produced them.
 struct PointResult {
   std::uint32_t n = 0;
   std::string backend;
+  std::uint64_t seed = 0;
   std::size_t threads = 1;
+  std::int64_t shufflePeriodS = 0;
+  std::size_t shuffleViewSize = 0;
+  std::size_t shuffleGossipLength = 0;
+  bool feedEnabled = false;
+  std::size_t feedHorizontalBudget = 0;
+  std::size_t feedVerticalBudget = 0;
   double modelMb = 0.0;
   double buildS = 0.0;
   double warmupS = 0.0;
+  double restoreS = 0.0;  ///< checkpoint-restore wall (0 = warmed up fresh)
   double warmupSimH = 0.0;
   std::uint64_t events = 0;
   double eventsPerS = 0.0;
@@ -134,8 +157,17 @@ void writeJson(const std::string& path, const std::vector<PointResult>& points,
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointResult& p = points[i];
     out << "    {\"n\": " << p.n << ", \"backend\": \"" << p.backend
-        << "\", \"threads\": " << p.threads << ", \"model_mb\": " << p.modelMb
+        << "\", \"trace_backend\": \"" << p.backend
+        << "\", \"seed\": " << p.seed << ", \"threads\": " << p.threads
+        << ", \"shuffle_period_s\": " << p.shufflePeriodS
+        << ", \"shuffle_view_size\": " << p.shuffleViewSize
+        << ", \"shuffle_gossip_length\": " << p.shuffleGossipLength
+        << ", \"feed_enabled\": " << (p.feedEnabled ? "true" : "false")
+        << ", \"feed_h_budget\": " << p.feedHorizontalBudget
+        << ", \"feed_v_budget\": " << p.feedVerticalBudget
+        << ", \"model_mb\": " << p.modelMb
         << ", \"build_s\": " << p.buildS << ", \"warmup_s\": " << p.warmupS
+        << ", \"restore_s\": " << p.restoreS
         << ", \"warmup_sim_h\": " << p.warmupSimH
         << ", \"events\": " << p.events
         << ", \"events_per_s\": " << p.eventsPerS
@@ -171,15 +203,36 @@ int main(int argc, char** argv) {
     return f != nullptr && f[0] == '1';
   }();
   std::optional<std::string> jsonPath;
+  std::optional<std::string> checkpointIn;
+  std::optional<std::string> checkpointOut;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       fast = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-in") == 0 && i + 1 < argc) {
+      checkpointIn = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-out") == 0 &&
+               i + 1 < argc) {
+      checkpointOut = argv[++i];
     } else {
       std::cerr << "scale_sweep: unknown argument '" << argv[i]
-                << "' (usage: scale_sweep [--smoke] [--json out.json])\n";
+                << "' (usage: scale_sweep [--smoke] [--json out.json]"
+                   " [--checkpoint-out warm.avmem]"
+                   " [--checkpoint-in warm.avmem])\n";
       return 2;
+    }
+  }
+  if (!checkpointIn) {
+    if (const char* p = std::getenv("AVMEM_CHECKPOINT");
+        p != nullptr && *p != '\0') {
+      checkpointIn = p;
+    }
+  }
+  if (!checkpointOut) {
+    if (const char* p = std::getenv("AVMEM_CHECKPOINT_OUT");
+        p != nullptr && *p != '\0') {
+      checkpointOut = p;
     }
   }
   std::uint64_t seed = 20070101;
@@ -193,7 +246,8 @@ int main(int argc, char** argv) {
                "sharded maintenance, parallel plan dispatch, "
             << (backend ? core::traceBackendName(*backend) : "markov")
             << " availability backend\n";
-  std::cout << "# n backend threads model_mb build_s warmup_s warmup_sim_h "
+  std::cout << "# n backend threads model_mb build_s warmup_s restore_s "
+               "warmup_sim_h "
                "events events_per_s plan_s commit_s plan_share "
                "plan_nodes_per_s pipeline_overlap_s plan_slot_p50_ms "
                "plan_slot_p99_ms maint_timers "
@@ -211,14 +265,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<std::uint32_t> sizes = populationSizes(fast);
+  // With several populations one checkpoint path cannot serve them all:
+  // suffix per point so a sweep saves/restores a file per N.
+  const auto pointPath = [&sizes](const std::string& base, std::uint32_t n) {
+    return sizes.size() > 1 ? base + ".N" + std::to_string(n) : base;
+  };
+
   std::vector<PointResult> points;
-  for (const std::uint32_t n : populationSizes(fast)) {
+  for (const std::uint32_t n : sizes) {
     auto scenario = core::makeScaleScenario(n, seed);
     if (fast) scenario.warmup = sim::SimDuration::minutes(30);
     if (backend) scenario.config.traceBackend = *backend;
     if (shufflePeriodS) {
       scenario.config.shuffle.period = sim::SimDuration::seconds(*shufflePeriodS);
     }
+    // The sweep drives save/restore itself (per-point paths, timed as a
+    // separate column); clear whatever the AVMEM_CHECKPOINT* environment
+    // put in the config so warmup() does not also act on it.
+    scenario.config.checkpointIn.clear();
+    scenario.config.checkpointOut.clear();
     std::cerr << "building " << scenario.name << " ("
               << core::traceBackendName(scenario.config.traceBackend)
               << " availability backend)...\n";
@@ -230,11 +296,41 @@ int main(int argc, char** argv) {
         static_cast<double>(system.trace().memoryFootprintBytes()) /
         (1024.0 * 1024.0);
 
-    std::cerr << "warming up " << scenario.warmup.toString() << " simulated ("
-              << system.maintenanceThreads() << " plan thread(s))...\n";
-    const auto tWarm = Clock::now();
-    system.warmup(scenario.warmup);
-    const double warmupS = secondsSince(tWarm);
+    double warmupS = 0.0;
+    double restoreS = 0.0;
+    if (checkpointIn) {
+      const std::string path = pointPath(*checkpointIn, n);
+      std::cerr << "restoring warm state from " << path << "...\n";
+      const auto tRestore = Clock::now();
+      try {
+        system.restoreCheckpoint(path);
+      } catch (const std::exception& e) {
+        std::cerr << "scale_sweep: checkpoint restore failed: " << e.what()
+                  << "\n";
+        return 1;
+      }
+      restoreS = secondsSince(tRestore);
+      std::cerr << "restored in " << restoreS << " s (vs a fresh "
+                << scenario.warmup.toString() << " warm-up)\n";
+    } else {
+      std::cerr << "warming up " << scenario.warmup.toString()
+                << " simulated (" << system.maintenanceThreads()
+                << " plan thread(s))...\n";
+      const auto tWarm = Clock::now();
+      system.warmup(scenario.warmup);
+      warmupS = secondsSince(tWarm);
+      if (checkpointOut) {
+        const std::string path = pointPath(*checkpointOut, n);
+        std::cerr << "saving warm state to " << path << "...\n";
+        try {
+          system.saveCheckpoint(path);
+        } catch (const std::exception& e) {
+          std::cerr << "scale_sweep: checkpoint save failed: " << e.what()
+                    << "\n";
+          return 1;
+        }
+      }
+    }
     const std::uint64_t warmupEvents = system.simulator().executedEvents();
     // Plan/commit walls aggregate discovery + refresh + the batched
     // shuffle exchanges (all three ride the same barrier-mode wheel).
@@ -305,10 +401,20 @@ int main(int argc, char** argv) {
     PointResult p;
     p.n = n;
     p.backend = core::traceBackendName(scenario.config.traceBackend);
+    p.seed = scenario.config.seed;
     p.threads = system.maintenanceThreads();
+    p.shufflePeriodS =
+        scenario.config.shuffle.period.toMicros() / 1'000'000;
+    p.shuffleViewSize = scenario.config.shuffle.viewSize;
+    p.shuffleGossipLength = scenario.config.shuffle.gossipLength;
+    p.feedEnabled = scenario.config.candidateFeed.enabled;
+    p.feedHorizontalBudget =
+        scenario.config.candidateFeed.horizontalScanBudget;
+    p.feedVerticalBudget = scenario.config.candidateFeed.verticalScanBudget;
     p.modelMb = modelMb;
     p.buildS = buildS;
     p.warmupS = warmupS;
+    p.restoreS = restoreS;
     p.warmupSimH = scenario.warmup.toHours();
     p.events = warmupEvents;
     p.eventsPerS = warmupS > 0.0
@@ -337,6 +443,7 @@ int main(int argc, char** argv) {
 
     std::cout << p.n << " " << p.backend << " " << p.threads << " "
               << p.modelMb << " " << p.buildS << " " << p.warmupS << " "
+              << p.restoreS << " "
               << p.warmupSimH << " " << p.events << " " << p.eventsPerS
               << " " << p.planS << " " << p.commitS << " " << p.planShare
               << " " << p.planNodesPerS << " " << p.pipelineOverlapS << " "

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 namespace avmem::avmon {
 
@@ -101,6 +102,37 @@ void ShuffleService::start() {
   // queue holds O(shards) timers, and each slot firing fans its members'
   // plan phases across the pool before committing requests in slot order.
   schedule_.startParallel(
+      sim_, period_, shards_, n, rng_.fork("shuffle-jitter"), pool_,
+      [this](std::uint32_t i, std::size_t lane) {
+        planExchange(static_cast<NodeIndex>(i), lane);
+      },
+      [this](std::uint32_t i, std::size_t lane) {
+        commitExchange(static_cast<NodeIndex>(i), lane);
+      },
+      pipeline_);
+  lanes_.resize(schedule_.laneSpan());
+  pipelineDrains_ =
+      pipeline_.enabled && pool_ != nullptr && pool_->threadCount() > 1;
+}
+
+void ShuffleService::restoreState(SavedState s) {
+  const auto n = static_cast<NodeIndex>(views_.size());
+  if (s.views.size() != views_.size() || s.rounds.size() != views_.size()) {
+    throw std::invalid_argument(
+        "ShuffleService::restoreState: population mismatch");
+  }
+  views_ = std::move(s.views);
+  rounds_ = std::move(s.rounds);
+  completedShuffles_ = s.completedShuffles;
+  planSeed_ = s.planSeed;
+  wireSeed_ = s.wireSeed;
+  // The saved RNG already reflects the bootstrap draws, so forking
+  // "shuffle-jitter" from it reproduces the exact slot assignment the
+  // checkpointed run was firing on.
+  rng_ = sim::Rng::fromState(s.rngState);
+  channel_.restoreState(std::move(s.channel));
+
+  schedule_.prepareParallel(
       sim_, period_, shards_, n, rng_.fork("shuffle-jitter"), pool_,
       [this](std::uint32_t i, std::size_t lane) {
         planExchange(static_cast<NodeIndex>(i), lane);

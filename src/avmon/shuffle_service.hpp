@@ -33,6 +33,7 @@
 // merge membership tests are binary searches instead of O(viewSize) scans.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -133,6 +134,48 @@ class ShuffleService final : public net::ShuffleSink {
   [[nodiscard]] double commitWallSeconds() const noexcept {
     return schedule_.commitWallSeconds() +
            static_cast<double>(drainCommitNs_) * 1e-9;
+  }
+
+  /// Warm-state checkpointing (snapshot/): the views, the per-node round
+  /// cursors, the derived stream seeds, the post-bootstrap RNG, and the
+  /// channel's in-flight state. The initiation wheel itself is not saved —
+  /// slot assignment is a pure function of rng_'s saved state (the
+  /// "shuffle-jitter" fork), so restoreState() rebuilds it and the
+  /// orchestrator re-arms the slots at their checkpointed times.
+  struct SavedState {
+    std::vector<std::vector<net::NodeIndex>> views;
+    std::vector<std::uint32_t> rounds;
+    std::uint64_t completedShuffles = 0;
+    std::uint64_t planSeed = 0;
+    std::uint64_t wireSeed = 0;
+    std::array<std::uint64_t, 4> rngState{};
+    net::ShuffleChannel::SavedState channel;
+  };
+
+  [[nodiscard]] SavedState saveState() const {
+    SavedState s;
+    s.views = views_;
+    s.rounds = rounds_;
+    s.completedShuffles = completedShuffles_;
+    s.planSeed = planSeed_;
+    s.wireSeed = wireSeed_;
+    s.rngState = rng_.saveState();
+    s.channel = channel_.saveState();
+    return s;
+  }
+
+  /// Install checkpointed state in place of start(): skips the bootstrap
+  /// view seeding (whose RNG draws are already reflected in the saved
+  /// rng state), prepares the initiation wheel un-armed, and leaves the
+  /// channel wake un-armed. The restore orchestrator then arms wheel
+  /// slots and the channel wake in saved tie-break order.
+  void restoreState(SavedState s);
+
+  /// Mutable wheel/channel access for the restore orchestrator.
+  [[nodiscard]] sim::ShardedScheduler& wheel() noexcept { return schedule_; }
+  [[nodiscard]] net::ShuffleChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] const net::ShuffleChannel& channel() const noexcept {
+    return channel_;
   }
 
   // --- net::ShuffleSink (typed channel deliveries; event-loop context) ----

@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "avmon/availability_service.hpp"
@@ -218,6 +219,18 @@ class AvmemNode {
   /// entries land in the vertical sliver with freshly-queried
   /// availabilities; the horizontal sliver is cleared.
   void adoptCoarseView(std::span<const NodeIndex> view);
+
+  /// Warm-state restore (snapshot/): install checkpointed protocol state
+  /// wholesale. Slivers arrive through SliverList::restore so timestamps
+  /// and entry order survive exactly; counters resume from their saved
+  /// values so post-restore stats equal a straight-through run's.
+  void restoreState(double selfAv, SliverList hs, SliverList vs,
+                    const NodeStats& stats) {
+    selfAv_ = selfAv;
+    hs_ = std::move(hs);
+    vs_ = std::move(vs);
+    stats_ = stats;
+  }
 
   /// Drop a neighbor known to be unreachable (failure feedback from
   /// routing, mirrors the shuffle service's eviction of dead entries).

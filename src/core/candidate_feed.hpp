@@ -48,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/avmem_node.hpp"
@@ -121,6 +122,58 @@ class CandidateFeed {
   void drawCandidates(net::NodeIndex self, double selfAv,
                       std::uint64_t round,
                       std::vector<net::NodeIndex>& out) const;
+
+  /// Warm-state checkpointing (snapshot/): both directory sides (frozen
+  /// and building, flattened), the per-node epoch tags, the seal count,
+  /// and the seal timer's next firing instant.
+  struct SavedState {
+    std::vector<std::vector<net::NodeIndex>> frozenBuckets;
+    std::uint64_t frozenPopulation = 0;
+    std::vector<std::vector<net::NodeIndex>> buildingBuckets;
+    std::uint64_t buildingPopulation = 0;
+    std::vector<std::uint32_t> publishedInEpoch;
+    std::uint64_t sealedEpochs = 0;
+    std::int64_t sealNextFireAtUs = 0;
+  };
+
+  [[nodiscard]] SavedState saveState() const {
+    SavedState s;
+    s.frozenBuckets = frozen_.buckets;
+    s.frozenPopulation = frozen_.population;
+    s.buildingBuckets = building_.buckets;
+    s.buildingPopulation = building_.population;
+    s.publishedInEpoch = publishedInEpoch_;
+    s.sealedEpochs = sealedEpochs_;
+    s.sealNextFireAtUs = sealTask_.nextFireAt().toMicros();
+    return s;
+  }
+
+  /// Install checkpointed state. Does NOT arm the seal timer — the
+  /// restore orchestrator calls armSeal() in saved tie-break order.
+  void restoreState(SavedState s) {
+    frozen_.buckets = std::move(s.frozenBuckets);
+    frozen_.population = static_cast<std::size_t>(s.frozenPopulation);
+    building_.buckets = std::move(s.buildingBuckets);
+    building_.population = static_cast<std::size_t>(s.buildingPopulation);
+    publishedInEpoch_ = std::move(s.publishedInEpoch);
+    sealedEpochs_ = s.sealedEpochs;
+    sealTask_.stop();
+  }
+
+  /// Re-arm the seal timer at the checkpointed instant; the period is
+  /// recomputed from config exactly as start() derives it.
+  void armSeal(sim::Simulator& sim, sim::SimDuration defaultEpochPeriod,
+               sim::SimTime firstAt) {
+    const sim::SimDuration period =
+        config_.epochPeriod > sim::SimDuration::zero() ? config_.epochPeriod
+                                                       : defaultEpochPeriod;
+    sealTask_.start(sim, firstAt, period, [this] { sealEpoch(); });
+  }
+
+  /// The seal timer, for the checkpoint writer's event accounting.
+  [[nodiscard]] const sim::PeriodicTask& sealTask() const noexcept {
+    return sealTask_;
+  }
 
   // --- introspection -------------------------------------------------------
 

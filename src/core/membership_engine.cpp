@@ -6,7 +6,11 @@ namespace avmem::core {
 
 using net::NodeIndex;
 
-void MembershipEngine::start() {
+void MembershipEngine::start() { startImpl(/*arm=*/true); }
+
+void MembershipEngine::prepareResume() { startImpl(/*arm=*/false); }
+
+void MembershipEngine::startImpl(bool arm) {
   if (started_) return;
   started_ = true;
 
@@ -16,30 +20,42 @@ void MembershipEngine::start() {
   // skip the round (they are not running). In coarse-view-overlay mode
   // (Figure-10 baseline) the view *is* the membership list, so the round
   // adopts it wholesale instead.
-  discovery_.startParallel(
-      sim_, config_.discoveryPeriod, config_.shards, n,
-      rng_.fork("discovery-jitter"), pool_,
-      [this](std::uint32_t i, std::size_t lane) {
-        planTick(Round::kDiscovery, i, lane);
-      },
-      [this](std::uint32_t i, std::size_t lane) {
-        commitTick(Round::kDiscovery, i, lane);
-      },
-      config_.pipeline);
+  auto discoveryPlan = [this](std::uint32_t i, std::size_t lane) {
+    planTick(Round::kDiscovery, i, lane);
+  };
+  auto discoveryCommit = [this](std::uint32_t i, std::size_t lane) {
+    commitTick(Round::kDiscovery, i, lane);
+  };
+  if (arm) {
+    discovery_.startParallel(sim_, config_.discoveryPeriod, config_.shards,
+                             n, rng_.fork("discovery-jitter"), pool_,
+                             discoveryPlan, discoveryCommit,
+                             config_.pipeline);
+  } else {
+    discovery_.prepareParallel(sim_, config_.discoveryPeriod, config_.shards,
+                               n, rng_.fork("discovery-jitter"), pool_,
+                               discoveryPlan, discoveryCommit,
+                               config_.pipeline);
+  }
 
   // Refresh: every refresh period, re-validate both slivers (no-op for
   // the view overlay, whose list is rebuilt every round anyway).
   if (!config_.coarseViewOverlay) {
-    refresh_.startParallel(
-        sim_, config_.refreshPeriod, config_.shards, n,
-        rng_.fork("refresh-jitter"), pool_,
-        [this](std::uint32_t i, std::size_t lane) {
-          planTick(Round::kRefresh, i, lane);
-        },
-        [this](std::uint32_t i, std::size_t lane) {
-          commitTick(Round::kRefresh, i, lane);
-        },
-        config_.pipeline);
+    auto refreshPlan = [this](std::uint32_t i, std::size_t lane) {
+      planTick(Round::kRefresh, i, lane);
+    };
+    auto refreshCommit = [this](std::uint32_t i, std::size_t lane) {
+      commitTick(Round::kRefresh, i, lane);
+    };
+    if (arm) {
+      refresh_.startParallel(sim_, config_.refreshPeriod, config_.shards, n,
+                             rng_.fork("refresh-jitter"), pool_, refreshPlan,
+                             refreshCommit, config_.pipeline);
+    } else {
+      refresh_.prepareParallel(sim_, config_.refreshPeriod, config_.shards,
+                               n, rng_.fork("refresh-jitter"), pool_,
+                               refreshPlan, refreshCommit, config_.pipeline);
+    }
   }
 
   // laneSpan, not maxSlotPopulation: pipelined wheels address a doubled

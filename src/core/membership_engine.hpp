@@ -117,8 +117,28 @@ class MembershipEngine {
   /// Begin the maintenance schedules. Idempotent.
   void start();
 
+  /// Warm-state restore (snapshot/): set up both wheels exactly as
+  /// start() would — rng_ is never advanced (forks are pure), so the
+  /// jitter streams and therefore the slot assignments reproduce — but
+  /// leave every slot timer un-armed. The restore orchestrator then arms
+  /// the wheels (discoveryWheel()/refreshWheel() + armSlot) at the
+  /// checkpointed next-fire times, in saved tie-break order.
+  void prepareResume();
+
   /// Cancel all maintenance timers.
   void stop();
+
+  // Mutable wheel access + counter install for the restore orchestrator
+  // (snapshot/checkpoint.cpp); not part of the steady-state API.
+  [[nodiscard]] sim::ShardedScheduler& discoveryWheel() noexcept {
+    return discovery_;
+  }
+  [[nodiscard]] sim::ShardedScheduler& refreshWheel() noexcept {
+    return refresh_;
+  }
+  void restoreStats(const MembershipEngineStats& stats) noexcept {
+    stats_ = stats;
+  }
 
   [[nodiscard]] bool running() const noexcept {
     return discovery_.running() || refresh_.running();
@@ -160,6 +180,10 @@ class MembershipEngine {
  private:
   /// Which maintenance round a slot firing is running.
   enum class Round : std::uint8_t { kDiscovery, kRefresh };
+
+  /// Shared body of start() and prepareResume(): build both wheels from
+  /// the jitter streams; arm the slot timers only when `arm` is set.
+  void startImpl(bool arm);
 
   /// Plan phase: read-only against shared state, writes only the member's
   /// lane buffer; safe to run concurrently for all members of a slot.

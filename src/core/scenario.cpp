@@ -44,6 +44,18 @@ namespace {
   return std::nullopt;
 }
 
+/// AVMEM_CHECKPOINT / AVMEM_CHECKPOINT_OUT overrides for warm-state
+/// checkpoint restore / save paths (snapshot/checkpoint.hpp). Any
+/// non-empty value is a path — no parsing to reject — so unlike the
+/// numeric overrides these pass through verbatim; a bad path fails
+/// loudly at open time with a CheckpointIoError.
+[[nodiscard]] std::optional<std::string> checkpointPathFromEnv(
+    const char* var) {
+  const char* p = std::getenv(var);
+  if (p == nullptr || *p == '\0') return std::nullopt;
+  return std::string(p);
+}
+
 /// Apply the caller's host/seed overrides plus the environment thread
 /// override to an already-built scenario.
 void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
@@ -54,6 +66,12 @@ void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
   }
   if (const auto pipeline = pipelineFromEnv()) {
     s.config.pipelinedDispatch = *pipeline;
+  }
+  if (const auto in = checkpointPathFromEnv("AVMEM_CHECKPOINT")) {
+    s.config.checkpointIn = *in;
+  }
+  if (const auto out = checkpointPathFromEnv("AVMEM_CHECKPOINT_OUT")) {
+    s.config.checkpointOut = *out;
   }
 }
 

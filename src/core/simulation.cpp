@@ -288,15 +288,25 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
 }
 
 void AvmemSimulation::warmup(sim::SimDuration duration) {
-  if (!started_) {
-    started_ = true;
-    shuffle_->start();
-    engine_->start();
-    if (feed_ != nullptr) {
-      feed_->start(*sim_, config_.protocol.discoveryPeriod);
+  if (!started_ && !config_.checkpointIn.empty()) {
+    // Restore replaces the warm-up entirely: the clock jumps to the
+    // checkpoint's sim-time and the world resumes exactly where the
+    // checkpointing run left off.
+    restoreCheckpoint(config_.checkpointIn);
+  } else {
+    if (!started_) {
+      started_ = true;
+      shuffle_->start();
+      engine_->start();
+      if (feed_ != nullptr) {
+        feed_->start(*sim_, config_.protocol.discoveryPeriod);
+      }
+    }
+    sim_->runUntil(sim_->now() + duration);
+    if (!config_.checkpointOut.empty()) {
+      saveCheckpoint(config_.checkpointOut);
     }
   }
-  sim_->runUntil(sim_->now() + duration);
 }
 
 std::vector<NodeIndex> AvmemSimulation::onlineNodes() const {

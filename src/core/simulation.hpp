@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -34,6 +36,10 @@
 #include "trace/availability_model.hpp"
 #include "trace/churn_trace.hpp"
 #include "trace/overnet_generator.hpp"
+
+namespace avmem::snapshot {
+struct CheckpointAccess;  // snapshot/checkpoint.cpp
+}  // namespace avmem::snapshot
 
 namespace avmem::core {
 
@@ -145,6 +151,19 @@ struct SimulationConfig {
   /// are bit-identical either way. Scenario builders honor the
   /// AVMEM_PIPELINE environment override (0/1).
   bool pipelinedDispatch = false;
+
+  /// Warm-state checkpointing (snapshot/checkpoint.hpp). When
+  /// `checkpointIn` names a file, the first warmup() call restores the
+  /// converged world from it instead of simulating the warm-up; when
+  /// `checkpointOut` is nonempty, warmup() writes a checkpoint there after
+  /// the warm-up completes. Both are empty by default. These are I/O
+  /// plumbing, not world state: they are deliberately EXCLUDED from the
+  /// checkpoint config fingerprint (as are maintenanceThreads and
+  /// pipelinedDispatch — a checkpoint restores at any thread count and in
+  /// either dispatch mode, bit-identically). Scenario builders honor the
+  /// AVMEM_CHECKPOINT / AVMEM_CHECKPOINT_OUT environment overrides.
+  std::string checkpointIn;
+  std::string checkpointOut;
 };
 
 /// Availability band used to pick initiators (paper Section 4.2:
@@ -215,7 +234,29 @@ class AvmemSimulation {
 
   /// Start the maintenance machinery (shuffling, discovery, refresh) and
   /// advance simulated time by `duration` (the paper warms up for 24 h).
+  /// Honors config.checkpointIn (restore replaces the warm-up run; the
+  /// clock jumps to the checkpoint's sim-time) and config.checkpointOut
+  /// (a checkpoint is written once the warm-up completes).
   void warmup(sim::SimDuration duration);
+
+  // --- warm-state checkpointing (snapshot/checkpoint.hpp) ------------------
+
+  /// Serialize the full warm state (slivers, views, in-flight shuffle
+  /// legs, feed directory, timer wheels, RNG cursors, sim clock) to a
+  /// versioned, CRC-protected binary stream. Throws
+  /// snapshot::CheckpointUnsupportedError if the world holds state the
+  /// format cannot capture (e.g. an in-flight anycast, or an
+  /// avmon/aged/central backend).
+  void saveCheckpoint(const std::string& path) const;
+  void saveCheckpoint(std::ostream& out) const;
+
+  /// Restore a checkpoint into this freshly-constructed system (it must
+  /// not have been started). The checkpoint's config fingerprint must
+  /// match this system's config — thread count and dispatch mode aside —
+  /// or snapshot::CheckpointConfigError is thrown. After restore, running
+  /// to any later sim-time is bit-identical to a straight-through run.
+  void restoreCheckpoint(const std::string& path);
+  void restoreCheckpoint(std::istream& in);
 
   /// Advance simulated time (maintenance keeps running).
   void run(sim::SimDuration duration) {
@@ -309,6 +350,11 @@ class AvmemSimulation {
   }
 
  private:
+  /// The checkpoint orchestrator (snapshot/checkpoint.cpp) walks every
+  /// state owner through this single named seam instead of the facade
+  /// exposing its internals piecemeal.
+  friend struct avmem::snapshot::CheckpointAccess;
+
   void buildSystem(const SimulationConfig& config);
 
   SimulationConfig config_;

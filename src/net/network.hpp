@@ -19,6 +19,7 @@
 // message (see that header).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -140,6 +141,21 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void resetStats() noexcept { stats_ = NetworkStats{}; }
+
+  /// Warm-state checkpointing (snapshot/): the wire counters plus the
+  /// latency-sampling RNG, so post-restore sends draw the same latencies
+  /// a straight-through run would.
+  struct SavedState {
+    NetworkStats stats;
+    std::array<std::uint64_t, 4> rngState{};
+  };
+  [[nodiscard]] SavedState saveState() const noexcept {
+    return SavedState{stats_, rng_.saveState()};
+  }
+  void restoreState(const SavedState& s) noexcept {
+    stats_ = s.stats;
+    rng_ = sim::Rng::fromState(s.rngState);
+  }
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 

@@ -39,10 +39,12 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -172,6 +174,71 @@ class ShuffleChannel {
 
     awaitingAck_.insert(nextSeq_);
     ++nextSeq_;
+  }
+
+  /// Everything a warm-state checkpoint must capture to continue the
+  /// channel bit-identically: the raw heap array (heap order is part of
+  /// the state — pops depend on the array layout), the arena, the pending
+  /// ack set (canonically sorted so re-serializing a restored channel is
+  /// byte-identical), the wire RNG, and the armed wake instant.
+  struct SavedState {
+    std::vector<ShuffleMsg> heap;
+    std::vector<NodeIndex> arena;
+    std::uint64_t liveEntries = 0;
+    std::vector<std::uint64_t> awaitingAck;  ///< sorted ascending
+    std::uint64_t nextSeq = 0;
+    std::uint64_t nextOrder = 0;
+    std::int64_t scheduledWakeUs = kNoWake;  ///< kNoWake = no wake armed
+    std::array<std::uint64_t, 4> rngState{};
+  };
+  static constexpr std::int64_t kNoWakeSaved = -1;
+
+  [[nodiscard]] SavedState saveState() const {
+    SavedState s;
+    s.heap = heap_;
+    s.arena = arena_;
+    s.liveEntries = liveEntries_;
+    s.awaitingAck.assign(awaitingAck_.begin(), awaitingAck_.end());
+    std::sort(s.awaitingAck.begin(), s.awaitingAck.end());
+    s.nextSeq = nextSeq_;
+    s.nextOrder = nextOrder_;
+    s.scheduledWakeUs = scheduledWakeUs_;
+    s.rngState = rng_.saveState();
+    return s;
+  }
+
+  /// Install checkpointed state. Does NOT arm the wake — the restore
+  /// orchestrator calls armWake() in saved event-tie-break order.
+  void restoreState(SavedState s) {
+    heap_ = std::move(s.heap);
+    arena_ = std::move(s.arena);
+    liveEntries_ = static_cast<std::size_t>(s.liveEntries);
+    awaitingAck_.clear();
+    awaitingAck_.insert(s.awaitingAck.begin(), s.awaitingAck.end());
+    nextSeq_ = s.nextSeq;
+    nextOrder_ = s.nextOrder;
+    wake_.cancel();
+    scheduledWakeUs_ = s.scheduledWakeUs;
+    rng_ = sim::Rng::fromState(s.rngState);
+  }
+
+  /// Arm the single coalescing wake at the restored instant (restore
+  /// path; requires restoreState() to have recorded one).
+  void armWake() {
+    if (scheduledWakeUs_ == kNoWake) return;
+    wake_ = sim_.scheduleAt(sim::SimTime::micros(scheduledWakeUs_), [this] {
+      scheduledWakeUs_ = kNoWake;
+      drain();
+    });
+  }
+
+  /// The armed wake instant (kNoWakeSaved when idle) and its handle, for
+  /// the checkpoint writer's event accounting.
+  [[nodiscard]] std::int64_t scheduledWakeMicros() const noexcept {
+    return scheduledWakeUs_;
+  }
+  [[nodiscard]] const sim::EventHandle& wakeHandle() const noexcept {
+    return wake_;
   }
 
   /// In-flight records (requests + replies + acks + pending timeouts).

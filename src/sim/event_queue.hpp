@@ -116,6 +116,31 @@ class EventQueue {
     return nextSeq_;
   }
 
+  /// Number of *live* (not fired, not cancelled) pending events. Linear
+  /// scan — checkpoint-time introspection, not a hot-path query.
+  [[nodiscard]] std::size_t liveCount() const noexcept {
+    std::size_t n = 0;
+    for (const Event& ev : heap_) n += *ev.alive ? 1 : 0;
+    return n;
+  }
+
+  /// Sequence number of the pending event `h` tracks, or false if it has
+  /// fired or been cancelled. Linear scan; checkpoint-time only. The seq
+  /// is what breaks ties between events at equal timestamps, so a
+  /// checkpoint that re-arms events must preserve the relative seq order
+  /// of everything it saves (snapshot/checkpoint.cpp sorts on it).
+  [[nodiscard]] bool seqOf(const EventHandle& h,
+                           std::uint64_t& seq) const noexcept {
+    if (!h.pending()) return false;
+    for (const Event& ev : heap_) {
+      if (ev.alive == h.alive_) {
+        seq = ev.seq;
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   struct Event {
     SimTime at;

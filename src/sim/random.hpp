@@ -126,6 +126,20 @@ class Rng {
     return Rng(sm);
   }
 
+  /// The raw xoshiro256++ state, for warm-state checkpointing (snapshot/).
+  /// A generator rebuilt via fromState() continues the exact sequence —
+  /// and, because fork() is a pure function of this state, reproduces the
+  /// same child generators the original would have derived.
+  [[nodiscard]] std::array<std::uint64_t, 4> saveState() const noexcept {
+    return state_;
+  }
+
+  /// Rebuild a generator from a saveState() snapshot.
+  [[nodiscard]] static Rng fromState(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    return Rng(state);
+  }
+
   /// Derive an independent child generator from a label and optional index.
   /// Forking is a pure function of (parent seed material, label, idx).
   [[nodiscard]] Rng fork(std::string_view label,

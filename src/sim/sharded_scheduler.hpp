@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -113,7 +114,8 @@ class ShardedScheduler {
     plan_ = nullptr;
     commit_ = nullptr;
     pool_ = nullptr;
-    startSlots(sim, period, shardCount, memberCount, jitter);
+    startSlots(sim, period, shardCount, memberCount, jitter,
+               /*arm=*/true);
   }
 
   /// Barrier mode: per slot firing, run `plan` for every slot member
@@ -130,7 +132,45 @@ class ShardedScheduler {
     commit_ = std::move(commit);
     pool_ = pool;
     pipeline_ = std::move(pipeline);
-    startSlots(sim, period, shardCount, memberCount, jitter);
+    startSlots(sim, period, shardCount, memberCount, jitter,
+               /*arm=*/true);
+  }
+
+  /// Warm-state restore support (snapshot/): identical to startParallel —
+  /// same clamping, same jitter-driven slot assignment, same successor
+  /// map — except that no slot timer is armed. The restore path then arms
+  /// each populated slot at its checkpointed next-fire time via armSlot(),
+  /// interleaved with other owners' events in saved tie-break order.
+  void prepareParallel(Simulator& sim, SimDuration period,
+                       std::size_t shardCount, std::size_t memberCount,
+                       Rng jitter, WorkerPool* pool, PhaseFn plan,
+                       PhaseFn commit, PipelineOptions pipeline = {}) {
+    fn_ = nullptr;
+    plan_ = std::move(plan);
+    commit_ = std::move(commit);
+    pool_ = pool;
+    pipeline_ = std::move(pipeline);
+    startSlots(sim, period, shardCount, memberCount, jitter,
+               /*arm=*/false);
+  }
+
+  /// Arm (or re-arm) populated slot `s` to first fire at `at`, then every
+  /// period. Requires a prepared (or started) schedule and a populated
+  /// slot — restore code arms exactly the slots the checkpoint recorded,
+  /// and the two sets always agree because assignment is pure in the
+  /// jitter stream.
+  void armSlot(std::size_t s, SimTime at) {
+    PeriodicTask* task = s < taskOfSlot_.size() ? taskOfSlot_[s] : nullptr;
+    if (task == nullptr) {
+      throw std::invalid_argument("ShardedScheduler::armSlot: empty slot");
+    }
+    task->start(*sim_, at, period_, [this, s] { fireSlot(s); });
+  }
+
+  /// The populated slot's periodic task (nullptr for empty slots) — the
+  /// checkpoint writer reads each task's nextFireAt and pending-event seq.
+  [[nodiscard]] const PeriodicTask* slotTask(std::size_t s) const noexcept {
+    return s < taskOfSlot_.size() ? taskOfSlot_[s] : nullptr;
   }
 
   /// Cancel all slot timers; safe to call repeatedly.
@@ -214,7 +254,7 @@ class ShardedScheduler {
 
  private:
   void startSlots(Simulator& sim, SimDuration period, std::size_t shardCount,
-                  std::size_t memberCount, Rng jitter) {
+                  std::size_t memberCount, Rng jitter, bool arm) {
     tasks_.clear();
     slots_.clear();
     taskOfSlot_.clear();
@@ -222,6 +262,7 @@ class ShardedScheduler {
     spec_.valid = false;
     activeSet_ = 0;
     sim_ = &sim;
+    period_ = period;
     memberCount_ = memberCount;
     if (memberCount == 0 || period <= SimDuration::zero()) return;
 
@@ -243,12 +284,15 @@ class ShardedScheduler {
     for (std::size_t s = 0; s < shards; ++s) {
       if (slots_[s].empty()) continue;  // no timer for an empty slot
       auto task = std::make_unique<PeriodicTask>();
-      const auto firstAt =
-          sim.now() + SimDuration::micros(static_cast<std::int64_t>(
-                          (periodUs * s) / shards));
-      task->start(sim, firstAt, period, [this, s] { fireSlot(s); });
       taskOfSlot_[s] = task.get();
       tasks_.push_back(std::move(task));
+    }
+    if (arm) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (slots_[s].empty()) continue;
+        armSlot(s, sim.now() + SimDuration::micros(static_cast<std::int64_t>(
+                                   (periodUs * s) / shards)));
+      }
     }
 
     // Successor map for speculation: the next populated slot after s in
@@ -387,6 +431,7 @@ class ShardedScheduler {
   PhaseFn commit_;
   WorkerPool* pool_ = nullptr;
   Simulator* sim_ = nullptr;
+  SimDuration period_ = SimDuration::zero();
   std::size_t memberCount_ = 0;
   std::uint64_t planWallNs_ = 0;
   std::uint64_t commitWallNs_ = 0;

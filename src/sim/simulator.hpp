@@ -82,6 +82,32 @@ class Simulator {
     return queue_.size();
   }
 
+  /// Number of live (not fired, not cancelled) pending events. Linear
+  /// scan — checkpoint-time introspection (snapshot/), not a hot query.
+  [[nodiscard]] std::size_t liveEventCount() const noexcept {
+    return queue_.liveCount();
+  }
+
+  /// Tie-break sequence number of the pending event `h` tracks (false if
+  /// fired/cancelled). Checkpoint-time introspection (snapshot/).
+  [[nodiscard]] bool eventSeqOf(const EventHandle& h,
+                                std::uint64_t& seq) const noexcept {
+    return queue_.seqOf(h, seq);
+  }
+
+  /// Warm-state restore (snapshot/): adopt a checkpointed clock and
+  /// executed-event count. Only valid while no live event is pending —
+  /// the restore path arms the saved events afterwards, at or after
+  /// `now`, so nothing can observe the clock jumping.
+  void restoreClock(SimTime now, std::uint64_t executed) {
+    if (queue_.liveCount() != 0) {
+      throw std::logic_error(
+          "Simulator::restoreClock: live events already pending");
+    }
+    now_ = now;
+    executed_ = executed;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();

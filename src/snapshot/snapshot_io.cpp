@@ -1,0 +1,156 @@
+#include "snapshot/snapshot_io.hpp"
+
+#include <array>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace avmem::snapshot {
+
+namespace {
+
+/// CRC-32 (IEEE, reflected, polynomial 0xEDB88320) lookup table, computed
+/// once at static-init time from the reference bitwise recurrence.
+std::array<std::uint32_t, 256> makeCrcTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crcTable() noexcept {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept {
+  const auto& table = crcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- CheckpointWriter -------------------------------------------------------
+
+void CheckpointWriter::write(const void* data, std::size_t len) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(len));
+  if (!out_) {
+    throw CheckpointIoError("checkpoint write failed");
+  }
+}
+
+void CheckpointWriter::writeHeader(const FileHeader& header) {
+  write(kMagic, sizeof(kMagic));
+  write(&header.version, sizeof(header.version));
+  write(&header.fingerprint, sizeof(header.fingerprint));
+  write(&header.hosts, sizeof(header.hosts));
+  write(&header.seed, sizeof(header.seed));
+}
+
+void CheckpointWriter::writeSection(std::uint32_t id,
+                                    const SectionWriter& payload) {
+  const std::vector<std::uint8_t>& buf = payload.buffer();
+  const std::uint64_t len = buf.size();
+  const std::uint32_t crc = crc32(buf.data(), buf.size());
+  write(&id, sizeof(id));
+  write(&len, sizeof(len));
+  write(&crc, sizeof(crc));
+  if (!buf.empty()) write(buf.data(), buf.size());
+}
+
+void CheckpointWriter::finish() {
+  out_.flush();
+  if (!out_) {
+    throw CheckpointIoError("checkpoint flush failed");
+  }
+}
+
+// --- CheckpointReader -------------------------------------------------------
+
+void CheckpointReader::read(void* data, std::size_t len, const char* what) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in_.gcount()) != len) {
+    throw CheckpointFormatError(std::string("checkpoint truncated in ") +
+                                what);
+  }
+}
+
+CheckpointReader::CheckpointReader(std::istream& in)
+    : in_(in), remaining_(std::numeric_limits<std::size_t>::max()) {
+  if (!in_) {
+    throw CheckpointIoError("checkpoint stream not readable");
+  }
+
+  char magic[sizeof(kMagic)];
+  in_.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in_.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointFormatError("not an AVMEM checkpoint (bad magic)");
+  }
+  read(&header_.version, sizeof(header_.version), "header");
+  if (header_.version != kFormatVersion) {
+    throw CheckpointVersionError(
+        "checkpoint format version " + std::to_string(header_.version) +
+        " (this build reads version " + std::to_string(kFormatVersion) +
+        ")");
+  }
+  read(&header_.fingerprint, sizeof(header_.fingerprint), "header");
+  read(&header_.hosts, sizeof(header_.hosts), "header");
+  read(&header_.seed, sizeof(header_.seed), "header");
+
+  // On a seekable stream, learn the exact byte budget so corrupt section
+  // lengths are rejected before allocation (a flipped length bit must not
+  // turn into a multi-gigabyte resize).
+  const std::istream::pos_type cur = in_.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    in_.seekg(cur);
+    if (end != std::istream::pos_type(-1) && in_) {
+      remaining_ = static_cast<std::size_t>(end - cur);
+    }
+  }
+  in_.clear();
+}
+
+bool CheckpointReader::nextSection(std::uint32_t& id,
+                                   std::vector<std::uint8_t>& payload) {
+  char probe;
+  in_.read(&probe, 1);
+  if (in_.gcount() == 0) return false;  // clean end of file
+  in_.putback(probe);
+
+  constexpr std::size_t kFrameBytes =
+      sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  std::uint64_t len = 0;
+  std::uint32_t crc = 0;
+  read(&id, sizeof(id), "section frame");
+  read(&len, sizeof(len), "section frame");
+  read(&crc, sizeof(crc), "section frame");
+  if (remaining_ != std::numeric_limits<std::size_t>::max()) {
+    if (remaining_ < kFrameBytes || len > remaining_ - kFrameBytes) {
+      throw CheckpointFormatError(
+          "checkpoint section length exceeds file size");
+    }
+    remaining_ -= kFrameBytes + static_cast<std::size_t>(len);
+  }
+
+  payload.resize(static_cast<std::size_t>(len));
+  if (len != 0) read(payload.data(), payload.size(), "section payload");
+  if (crc32(payload.data(), payload.size()) != crc) {
+    throw CheckpointCrcError("checkpoint section CRC mismatch");
+  }
+  return true;
+}
+
+}  // namespace avmem::snapshot

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -104,6 +105,28 @@ class MarkovChurnModel final : public AvailabilityModel {
   /// Chain re-seed interval: bounds the replay cost of a random-access
   /// query and the maximum session length.
   static constexpr std::size_t kBlockEpochs = 64;
+
+  /// Warm-state checkpointing (snapshot/): the per-host packed cursors.
+  /// Pure caches — answers never depend on them — but restoring them
+  /// makes the first post-restore epoch queries O(1) instead of replaying
+  /// a block per host, which matters at 1M hosts.
+  [[nodiscard]] std::vector<std::uint64_t> saveCursors() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(chains_.size());
+    for (const HostChain& c : chains_) {
+      out.push_back(c.packedCursor.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+  void restoreCursors(const std::vector<std::uint64_t>& cursors) {
+    if (cursors.size() != chains_.size()) {
+      throw std::invalid_argument(
+          "MarkovChurnModel::restoreCursors: host count mismatch");
+    }
+    for (std::size_t h = 0; h < chains_.size(); ++h) {
+      chains_[h].packedCursor.store(cursors[h], std::memory_order_relaxed);
+    }
+  }
 
  private:
   /// Decoded cursor: the chain walked to `epoch` with `up` online epochs

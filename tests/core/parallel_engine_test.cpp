@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <map>
+#include <sstream>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -59,17 +61,9 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-RunFingerprint runScale(std::uint32_t hosts, std::size_t threads,
-                        bool pipelined = true) {
-  auto scenario = makeScaleScenario(hosts, /*seed=*/77);
-  scenario.config.maintenanceThreads = threads;
-  // Pin explicitly so an AVMEM_PIPELINE in the test environment cannot
-  // change what this run measures.
-  scenario.config.pipelinedDispatch = pipelined;
-
-  AvmemSimulation system(scenario.config);
-  system.warmup(sim::SimDuration::minutes(30));
-
+/// Fingerprint an already-warm system (including a fresh anycast batch,
+/// which draws from the facade RNG — so RNG state divergence shows too).
+RunFingerprint collectFingerprint(AvmemSimulation& system) {
   RunFingerprint fp;
   fp.effectiveThreads = system.maintenanceThreads();
   fp.engine = system.membershipEngine().stats();
@@ -114,6 +108,19 @@ RunFingerprint runScale(std::uint32_t hosts, std::size_t threads,
   return fp;
 }
 
+RunFingerprint runScale(std::uint32_t hosts, std::size_t threads,
+                        bool pipelined = true) {
+  auto scenario = makeScaleScenario(hosts, /*seed=*/77);
+  scenario.config.maintenanceThreads = threads;
+  // Pin explicitly so an AVMEM_PIPELINE in the test environment cannot
+  // change what this run measures.
+  scenario.config.pipelinedDispatch = pipelined;
+
+  AvmemSimulation system(scenario.config);
+  system.warmup(sim::SimDuration::minutes(30));
+  return collectFingerprint(system);
+}
+
 TEST(ParallelEngineTest, ScaleRunIsThreadCountInvariant) {
   const RunFingerprint serial = runScale(10'000, 1);
   EXPECT_EQ(serial.effectiveThreads, 1u);
@@ -149,6 +156,51 @@ TEST(ParallelEngineTest, PipelinedDispatchIsBitIdenticalToBarrier) {
     EXPECT_TRUE(barrier == pipelined)
         << "barrier mode at threads=" << threads
         << " diverged from the pipelined serial run";
+  }
+}
+
+TEST(ParallelEngineTest, RestoreEqualsRunThrough) {
+  // The warm-state checkpoint acceptance gate (snapshot/checkpoint.hpp):
+  // checkpoint a 10k-node world at the end of its warm-up, then restoring
+  // and running +30 sim-minutes — at ANY thread count, in EITHER dispatch
+  // mode — must be bit-identical to the donor running straight through.
+  // Everything observable is compared: digests, per-node counters, wire
+  // stats, and a post-window anycast batch (which proves the facade RNG
+  // survived the round trip too).
+  auto scenario = makeScaleScenario(10'000, /*seed=*/77);
+  scenario.config.maintenanceThreads = 1;
+  scenario.config.pipelinedDispatch = false;
+
+  AvmemSimulation donor(scenario.config);
+  donor.warmup(sim::SimDuration::minutes(30));
+  std::ostringstream checkpoint(std::ios::binary);
+  donor.saveCheckpoint(checkpoint);
+  const std::string bytes = checkpoint.str();
+  ASSERT_FALSE(bytes.empty());
+
+  donor.warmup(sim::SimDuration::minutes(30));
+  const RunFingerprint straightThrough = collectFingerprint(donor);
+  ASSERT_GT(straightThrough.engine.discoveryRounds, 0u);
+  ASSERT_FALSE(straightThrough.anycasts.empty());
+
+  for (const bool pipelined : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("pipelined=" + std::to_string(pipelined) +
+                   " threads=" + std::to_string(threads));
+      auto restoredScenario = makeScaleScenario(10'000, /*seed=*/77);
+      restoredScenario.config.maintenanceThreads = threads;
+      restoredScenario.config.pipelinedDispatch = pipelined;
+
+      AvmemSimulation restored(restoredScenario.config);
+      std::istringstream in(bytes, std::ios::binary);
+      restored.restoreCheckpoint(in);
+      restored.warmup(sim::SimDuration::minutes(30));
+
+      RunFingerprint fp = collectFingerprint(restored);
+      fp.effectiveThreads = straightThrough.effectiveThreads;
+      EXPECT_TRUE(fp == straightThrough)
+          << "restored run diverged from the straight-through donor";
+    }
   }
 }
 

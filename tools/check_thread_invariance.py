@@ -3,10 +3,17 @@
 
 Usage: check_thread_invariance.py [--min-mean-degree X] A.json B.json
 
-Parallel plan dispatch must not change any simulation-visible statistic —
-only wall-clock fields (build_s, warmup_s, events_per_s, batch_s) and the
-reported thread count may differ between runs. CI runs the smoke sweep at
-threads=1 and threads=4 and gates on this script.
+Parallel plan dispatch — and a warm-state checkpoint restore — must not
+change any simulation-visible statistic; only wall-clock fields, the
+reported thread count, and pipeline diagnostics may differ between runs.
+CI runs the smoke sweep at threads=1 and threads=4 (and restored vs
+fresh) and gates on this script.
+
+Every per-point key must be classified: INVARIANT_KEYS are compared
+exactly, IGNORED_KEYS are allowed to differ, and a key in neither set is
+a loud failure — a new scale_sweep column must be triaged here before it
+can ride through CI, otherwise a silently-added thread-variant (or
+restore-variant) column would erode the gate.
 
 --min-mean-degree X additionally gates Discovery convergence: every point
 of both runs must report mean_degree >= X (the candidate-feed floor; a
@@ -19,6 +26,14 @@ import sys
 INVARIANT_KEYS = (
     "n",
     "backend",
+    "trace_backend",
+    "seed",
+    "shuffle_period_s",
+    "shuffle_view_size",
+    "shuffle_gossip_length",
+    "feed_enabled",
+    "feed_h_budget",
+    "feed_v_budget",
     "model_mb",
     "warmup_sim_h",
     "events",
@@ -31,6 +46,95 @@ INVARIANT_KEYS = (
     "anycasts",
     "delivered_fraction",
 )
+
+# Wall-clock measurements, the knobs a comparison deliberately varies
+# (thread count, dispatch mode), and pipeline diagnostics that depend on
+# both. restore_s belongs here: one side of the checkpoint CI gate warms
+# up fresh (restore_s = 0) while the other restores.
+IGNORED_KEYS = frozenset(
+    {
+        "threads",
+        "build_s",
+        "warmup_s",
+        "restore_s",
+        "events_per_s",
+        "plan_s",
+        "commit_s",
+        "plan_share",
+        "plan_nodes_per_s",
+        "pipeline_overlap_s",
+        "plan_slot_p50_ms",
+        "plan_slot_p99_ms",
+        "pipelined_firings",
+        "discarded_speculations",
+        "batch_s",
+    }
+)
+
+
+def check_points(a, b, min_mean_degree=None, out=sys.stderr):
+    """Compare two point lists; returns the number of failures."""
+    if len(a) != len(b):
+        print(f"point count differs: {len(a)} vs {len(b)}", file=out)
+        return 1
+    failures = 0
+    for i, (pa, pb) in enumerate(zip(a, b)):
+        # Full schema coverage: any key neither compared nor explicitly
+        # ignored fails — never let a new column slip past unclassified.
+        for name, point in (("A", pa), ("B", pb)):
+            unknown = sorted(
+                k
+                for k in point
+                if k not in INVARIANT_KEYS and k not in IGNORED_KEYS
+            )
+            if unknown:
+                print(
+                    f"point {i} (run {name}): unclassified key(s) "
+                    f"{', '.join(unknown)} — add each to INVARIANT_KEYS "
+                    "or IGNORED_KEYS in tools/check_thread_invariance.py",
+                    file=out,
+                )
+                failures += len(unknown)
+        for key in INVARIANT_KEYS:
+            # A key absent from either run is its own loud failure: a
+            # silently-renamed or dropped JSON field must not read as
+            # "no divergence" (nor crash with a bare KeyError).
+            missing = [
+                name
+                for name, point in (("A", pa), ("B", pb))
+                if key not in point
+            ]
+            if missing:
+                print(
+                    f"point {i}: invariant key '{key}' missing from "
+                    f"run(s) {', '.join(missing)} — scale_sweep JSON "
+                    "schema changed?",
+                    file=out,
+                )
+                failures += 1
+                continue
+            if pa[key] != pb[key]:
+                print(
+                    f"point {i} ({pa.get('n', '?')} nodes): '{key}' "
+                    f"diverged: {pa[key]} (threads={pa.get('threads', '?')}) "
+                    f"vs {pb[key]} (threads={pb.get('threads', '?')})",
+                    file=out,
+                )
+                failures += 1
+    if min_mean_degree is not None:
+        for i, p in enumerate(a + b):
+            if "mean_degree" not in p:
+                continue  # already reported as a missing invariant key
+            if p["mean_degree"] < min_mean_degree:
+                print(
+                    f"point {i % len(a)} ({p['n']} nodes, "
+                    f"threads={p['threads']}): mean_degree "
+                    f"{p['mean_degree']} below the convergence floor "
+                    f"{min_mean_degree}",
+                    file=out,
+                )
+                failures += 1
+    return failures
 
 
 def main() -> int:
@@ -50,50 +154,7 @@ def main() -> int:
         with open(path, encoding="utf-8") as f:
             runs.append(json.load(f))
     a, b = (run["points"] for run in runs)
-    if len(a) != len(b):
-        print(f"point count differs: {len(a)} vs {len(b)}", file=sys.stderr)
-        return 1
-    failures = 0
-    for i, (pa, pb) in enumerate(zip(a, b)):
-        for key in INVARIANT_KEYS:
-            # A key absent from either run is its own loud failure: a
-            # silently-renamed or dropped JSON field must not read as
-            # "no divergence" (nor crash with a bare KeyError).
-            missing = [
-                name
-                for name, point in (("A", pa), ("B", pb))
-                if key not in point
-            ]
-            if missing:
-                print(
-                    f"point {i}: invariant key '{key}' missing from "
-                    f"run(s) {', '.join(missing)} — scale_sweep JSON "
-                    "schema changed?",
-                    file=sys.stderr,
-                )
-                failures += 1
-                continue
-            if pa[key] != pb[key]:
-                print(
-                    f"point {i} ({pa.get('n', '?')} nodes): '{key}' "
-                    f"diverged: {pa[key]} (threads={pa.get('threads', '?')}) "
-                    f"vs {pb[key]} (threads={pb.get('threads', '?')})",
-                    file=sys.stderr,
-                )
-                failures += 1
-    if min_mean_degree is not None:
-        for i, p in enumerate(a + b):
-            if "mean_degree" not in p:
-                continue  # already reported as a missing invariant key
-            if p["mean_degree"] < min_mean_degree:
-                print(
-                    f"point {i % len(a)} ({p['n']} nodes, "
-                    f"threads={p['threads']}): mean_degree "
-                    f"{p['mean_degree']} below the convergence floor "
-                    f"{min_mean_degree}",
-                    file=sys.stderr,
-                )
-                failures += 1
+    failures = check_points(a, b, min_mean_degree)
     if failures:
         return 1
     msg = (
