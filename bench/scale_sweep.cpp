@@ -140,6 +140,14 @@ struct PointResult {
   double meanDegree = 0.0;       ///< mean HS+VS degree (convergence gauge)
   double hsDegree = 0.0;         ///< mean horizontal-sliver degree
   std::uint64_t feedCandidates = 0;  ///< rendezvous-feed draws evaluated
+  /// Wire failure counters (net::NetworkStats): receiver-side rejections,
+  /// offline drops, ack timeouts, and — nonzero only under a fault plan —
+  /// injected duplications and drops. All thread-invariant.
+  std::uint64_t wireRejected = 0;
+  std::uint64_t wireDroppedOffline = 0;
+  std::uint64_t wireAckTimeouts = 0;
+  std::uint64_t wireDuplicated = 0;
+  std::uint64_t wireInjectedDrops = 0;
   std::size_t anycasts = 0;
   double deliveredFraction = 0.0;
   double batchS = 0.0;
@@ -185,6 +193,11 @@ void writeJson(const std::string& path, const std::vector<PointResult>& points,
         << ", \"mean_degree\": " << p.meanDegree
         << ", \"hs_degree\": " << p.hsDegree
         << ", \"feed_candidates\": " << p.feedCandidates
+        << ", \"rejected\": " << p.wireRejected
+        << ", \"dropped_offline\": " << p.wireDroppedOffline
+        << ", \"ack_timeouts\": " << p.wireAckTimeouts
+        << ", \"duplicated\": " << p.wireDuplicated
+        << ", \"injected_drops\": " << p.wireInjectedDrops
         << ", \"anycasts\": " << p.anycasts
         << ", \"delivered_fraction\": " << p.deliveredFraction
         << ", \"batch_s\": " << p.batchS << "}"
@@ -252,7 +265,8 @@ int main(int argc, char** argv) {
                "plan_nodes_per_s pipeline_overlap_s plan_slot_p50_ms "
                "plan_slot_p99_ms maint_timers "
                "completed_shuffles view_digest mean_degree hs_degree "
-               "feed_candidates anycasts delivered batch_s\n";
+               "feed_candidates rejected dropped_offline ack_timeouts "
+               "duplicated injected_drops anycasts delivered batch_s\n";
 
   std::optional<std::int64_t> shufflePeriodS;
   if (const char* sp = std::getenv("AVMEM_SHUFFLE_PERIOD_S"); sp != nullptr) {
@@ -436,6 +450,12 @@ int main(int argc, char** argv) {
     p.meanDegree = degree;
     p.hsDegree = hsDegree;
     p.feedCandidates = system.membershipEngine().stats().feedCandidates;
+    const net::NetworkStats& ws = system.network().stats();
+    p.wireRejected = ws.rejected;
+    p.wireDroppedOffline = ws.droppedOffline;
+    p.wireAckTimeouts = ws.ackTimeouts;
+    p.wireDuplicated = ws.duplicated;
+    p.wireInjectedDrops = ws.injectedDrops;
     p.anycasts = batch.count();
     p.deliveredFraction = batch.deliveredFraction();
     p.batchS = batchS;
@@ -450,7 +470,10 @@ int main(int argc, char** argv) {
               << p.planSlotP50Ms << " " << p.planSlotP99Ms
               << " " << p.maintTimers << " " << p.completedShuffles << " "
               << p.viewDigest << " " << p.meanDegree << " " << p.hsDegree
-              << " " << p.feedCandidates << " " << p.anycasts << " "
+              << " " << p.feedCandidates << " " << p.wireRejected << " "
+              << p.wireDroppedOffline << " " << p.wireAckTimeouts << " "
+              << p.wireDuplicated << " " << p.wireInjectedDrops << " "
+              << p.anycasts << " "
               << p.deliveredFraction << " " << p.batchS << "\n";
   }
   if (jsonPath) writeJson(*jsonPath, points, seed);

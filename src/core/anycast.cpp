@@ -29,7 +29,8 @@ void AnycastEngine::start(NodeIndex initiator, const AnycastParams& params,
   const auto bound = sim::SimDuration::millis(
       static_cast<std::int64_t>(params.ttl + 2) *
       (params.ackTimeout.toMicros() / 1000 + 200) *
-      std::max(1, params.retryBudget));
+      std::max(1, params.retryBudget) *
+      (1 + std::max(0, params.lossRetries)));
   op->watchdog = ctx_.sim.schedule(bound, [this, op] {
     settle(op, AnycastOutcome::kDropped, /*hops=*/-1);
   });
@@ -115,18 +116,23 @@ void AnycastEngine::forwardFrom(std::shared_ptr<Operation> op, NodeIndex node,
       // inside R. If there is no such neighbor, x selects as the next hop
       // the neighbor whose availability is closest to R."
       const NodeIndex next = candidates.front().peer;
-      network_.send(next, [this, op, node, next, ttl, hops](sim::SimTime) {
-        // Receiver-side verification: a rejecting receiver silently kills
-        // a fire-and-forget anycast (the watchdog reports kDropped).
-        if (!nodes_[next].verifyIncoming(node)) return;
-        arriveAt(op, next, ttl - 1, hops + 1);
-      });
+      network_.send(
+          next,
+          [this, op, node, next, ttl, hops](sim::SimTime) {
+            // Receiver-side verification: a rejecting receiver silently
+            // kills a fire-and-forget anycast (the watchdog reports
+            // kDropped).
+            if (!nodes_[next].verifyIncoming(node)) return;
+            arriveAt(op, next, ttl - 1, hops + 1);
+          },
+          net::Network::kDefaultMessageBytes, /*src=*/node);
       break;
     }
 
     case AnycastStrategy::kRetriedGreedy: {
       tryCandidates(op, node, std::move(candidates), /*next=*/0,
-                    op->params.retryBudget, ttl, hops);
+                    op->params.retryBudget, op->params.lossRetries, ttl,
+                    hops);
       break;
     }
 
@@ -150,10 +156,13 @@ void AnycastEngine::forwardFrom(std::shared_ptr<Operation> op, NodeIndex node,
           break;
         }
       }
-      network_.send(chosen, [this, op, node, chosen, ttl, hops](sim::SimTime) {
-        if (!nodes_[chosen].verifyIncoming(node)) return;
-        arriveAt(op, chosen, ttl - 1, hops + 1);
-      });
+      network_.send(
+          chosen,
+          [this, op, node, chosen, ttl, hops](sim::SimTime) {
+            if (!nodes_[chosen].verifyIncoming(node)) return;
+            arriveAt(op, chosen, ttl - 1, hops + 1);
+          },
+          net::Network::kDefaultMessageBytes, /*src=*/node);
       break;
     }
   }
@@ -162,8 +171,8 @@ void AnycastEngine::forwardFrom(std::shared_ptr<Operation> op, NodeIndex node,
 void AnycastEngine::tryCandidates(std::shared_ptr<Operation> op,
                                   NodeIndex node,
                                   std::vector<NeighborEntry> candidates,
-                                  std::size_t next, int budget, int ttl,
-                                  int hops) {
+                                  std::size_t next, int budget,
+                                  int resendsLeft, int ttl, int hops) {
   if (op->settled) return;
   // "The retrying stops when either retry reaches 0, or there are no more
   // next-best nodes left in the AVMEM neighbor list of node x."
@@ -189,15 +198,25 @@ void AnycastEngine::tryCandidates(std::shared_ptr<Operation> op,
       },
       /*onAck=*/[] { /* progress is driven from the receiver side */ },
       /*onTimeout=*/
-      [this, op, node, candidates = std::move(candidates), next, budget, ttl,
-       hops]() mutable {
+      [this, op, node, candidates = std::move(candidates), next, budget,
+       resendsLeft, ttl, hops]() mutable {
+        if (resendsLeft > 0) {
+          // Loss hardening: the silence may be a lost message, not a
+          // dead neighbor — give the same candidate another chance
+          // before condemning it (lossRetries > 0 only under a fault
+          // campaign; the default never takes this branch).
+          tryCandidates(op, node, std::move(candidates), next, budget,
+                        resendsLeft - 1, ttl, hops);
+          return;
+        }
         // Unresponsive (offline or rejecting): drop it from our lists and
         // retry the next-best neighbor.
         nodes_[node].evictNeighbor(candidates[next].peer);
         tryCandidates(op, node, std::move(candidates), next + 1, budget - 1,
-                      ttl, hops);
+                      op->params.lossRetries, ttl, hops);
       },
-      op->params.ackTimeout);
+      op->params.ackTimeout,
+      net::Network::kDefaultMessageBytes, /*src=*/node);
 }
 
 }  // namespace avmem::core

@@ -37,6 +37,15 @@ struct AnycastParams {
   int ttl = 6;
   int retryBudget = 8;
   sim::SimDuration ackTimeout = sim::SimDuration::millis(300);
+  /// Loss hardening for retried-greedy: re-send to the SAME candidate up
+  /// to this many times after an ack timeout before evicting it and
+  /// moving on. Under paper semantics (no injected loss) a timeout means
+  /// the neighbor is offline or rejecting, so the default is 0 — evict
+  /// immediately, exactly the original behavior. Under a fault campaign
+  /// (sustained 30% loss), evict-on-first-timeout destroys healthy
+  /// neighbor lists; chaos measurement code passes 1-2 here. Re-sends do
+  /// not consume `retryBudget` (which counts candidate advances).
+  int lossRetries = 0;
 };
 
 /// Terminal states of one anycast.
@@ -112,7 +121,7 @@ class AnycastEngine {
               int hops, net::NodeIndex deliveredTo = 0);
   void tryCandidates(std::shared_ptr<Operation> op, net::NodeIndex node,
                      std::vector<NeighborEntry> candidates, std::size_t next,
-                     int budget, int ttl, int hops);
+                     int budget, int resendsLeft, int ttl, int hops);
 
   ProtocolContext& ctx_;
   net::Network& network_;

@@ -1,10 +1,13 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
+
+#include "fault/fault_plan.hpp"
 
 namespace avmem::core {
 
@@ -56,6 +59,19 @@ namespace {
   return std::string(p);
 }
 
+/// AVMEM_FAULT_PLAN override: path to a fault-campaign file
+/// (fault/fault_plan.hpp) applied to whatever scenario is built. Replaces
+/// any plan the scenario baked in (the chaos-* entries), so one env var
+/// swaps the campaign without a recompile. Like the checkpoint paths,
+/// the value passes through verbatim; a bad path or malformed plan fails
+/// loudly at Simulation construction with a FaultPlanError.
+void applyFaultPlanEnv(SimulationConfig& config) {
+  if (const auto plan = checkpointPathFromEnv("AVMEM_FAULT_PLAN")) {
+    config.faultPlan = {};  // drop any built-in campaign; the file wins
+    config.faultPlanPath = *plan;
+  }
+}
+
 /// Apply the caller's host/seed overrides plus the environment thread
 /// override to an already-built scenario.
 void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
@@ -73,6 +89,7 @@ void applyCommonTuning(Scenario& s, const ScenarioTuning& tuning) {
   if (const auto out = checkpointPathFromEnv("AVMEM_CHECKPOINT_OUT")) {
     s.config.checkpointOut = *out;
   }
+  applyFaultPlanEnv(s.config);
 }
 
 /// The Middleware 2007 evaluation setup (fig_common.hpp's former
@@ -144,6 +161,66 @@ Scenario buildScale(std::uint32_t hosts, const ScenarioTuning& tuning) {
   return s;
 }
 
+/// The three built-in hostile campaigns, in escalating order.
+enum class ChaosLevel { kLoss, kOutage, kStorm };
+
+/// Hostile-campaign scenarios: the scale-100k setup plus a built-in fault
+/// plan whose stage windows sit just past the warm-up, so the campaign
+/// always hits a *converged* overlay and reconvergence is measurable.
+/// Windows are composed from the (fast-adjusted) warm-up — smoke mode
+/// shrinks both the population and the campaign timeline together — and
+/// are placed so the outage and flash-crowd windows land on distinct
+/// 20-minute epochs after quantization (the outage overlay rejects
+/// forcing-window overlap).
+Scenario buildChaos(ChaosLevel level, const ScenarioTuning& tuning) {
+  Scenario s = buildScale(100'000, tuning);
+  const double w = s.warmup.toHours();
+  char text[1536];
+  switch (level) {
+    case ChaosLevel::kLoss:
+      s.name = "chaos-loss";
+      std::snprintf(text, sizeof(text),
+                    "[loss]\n"
+                    "from_h = %.4f\nto_h = %.4f\n"
+                    "drop = 0.30\nduplicate = 0.05\n"
+                    "delay = 0.10\ndelay_max_ms = 200\n",
+                    w + 0.2, w + 0.7);
+      break;
+    case ChaosLevel::kOutage:
+      s.name = "chaos-outage";
+      std::snprintf(text, sizeof(text),
+                    "[loss]\nfrom_h = %.4f\nto_h = %.4f\ndrop = 0.20\n"
+                    "\n[outage]\nfrom_h = %.4f\nto_h = %.4f\n"
+                    "region = 2\nfraction = 1.0\n",
+                    w + 0.2, w + 0.9,   // loss window
+                    w + 0.25, w + 0.6);  // regional blackout inside it
+      break;
+    case ChaosLevel::kStorm:
+      s.name = "chaos-storm";
+      std::snprintf(text, sizeof(text),
+                    "[loss]\nfrom_h = %.4f\nto_h = %.4f\n"
+                    "drop = 0.30\nduplicate = 0.05\n"
+                    "delay = 0.10\ndelay_max_ms = 200\n"
+                    "\n[outage]\nfrom_h = %.4f\nto_h = %.4f\n"
+                    "region = 2\nfraction = 1.0\n"
+                    "\n[flashcrowd]\nfrom_h = %.4f\nto_h = %.4f\n"
+                    "fraction = 0.25\n"
+                    "\n[attack]\nfrom_h = %.4f\nto_h = %.4f\n"
+                    "period_s = 60\nkind = flooding\n",
+                    w + 0.2, w + 1.0,    // sustained loss
+                    w + 0.25, w + 0.6,   // regional blackout
+                    w + 1.1, w + 1.4,    // flash crowd (post-outage epochs)
+                    w + 0.2, w + 1.0);   // flooding sweeps alongside loss
+      break;
+  }
+  // An AVMEM_FAULT_PLAN file (already applied inside makeScaleScenario)
+  // outranks the built-in campaign: keep the path, skip the baked plan.
+  if (s.config.faultPlanPath.empty()) {
+    s.config.faultPlan = fault::parseFaultPlanText(text);
+  }
+  return s;
+}
+
 }  // namespace
 
 Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
@@ -206,6 +283,8 @@ Scenario makeScaleScenario(std::uint32_t hosts, std::uint64_t seed) {
     s.config.pipelinedDispatch = *pipeline;
   }
 
+  applyFaultPlanEnv(s.config);
+
   s.warmup = sim::SimDuration::hours(2);
   return s;
 }
@@ -236,6 +315,22 @@ ScenarioRegistry::ScenarioRegistry() {
   add({"scale-1m",
        "scale mode at 1M nodes: oracle + kFast64 + shards + Markov churn",
        [](const ScenarioTuning& t) { return buildScale(1'000'000, t); }});
+  add({"chaos-loss",
+       "scale-100k under a 30% loss / 5% duplication / delay-jitter window",
+       [](const ScenarioTuning& t) {
+         return buildChaos(ChaosLevel::kLoss, t);
+       }});
+  add({"chaos-outage",
+       "scale-100k under 20% loss plus a full regional blackout",
+       [](const ScenarioTuning& t) {
+         return buildChaos(ChaosLevel::kOutage, t);
+       }});
+  add({"chaos-storm",
+       "scale-100k under loss + regional blackout + flash crowd + flooding "
+       "attack sweeps",
+       [](const ScenarioTuning& t) {
+         return buildChaos(ChaosLevel::kStorm, t);
+       }});
 }
 
 ScenarioRegistry& ScenarioRegistry::global() {

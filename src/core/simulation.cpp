@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/attack.hpp"
 #include "hash/fast64_batch.hpp"
 #include "net/latency.hpp"
 #include "trace/bitpacked_trace.hpp"
@@ -60,7 +61,24 @@ AvmemSimulation::AvmemSimulation(
   if (trace_ == nullptr) {
     throw std::invalid_argument("AvmemSimulation: null availability model");
   }
-  buildSystem(config);
+  // Fault plans are data: an explicit in-config plan wins; otherwise a
+  // campaign file named by faultPlanPath (or AVMEM_FAULT_PLAN via the
+  // scenario builders) is parsed here, before anything observes the
+  // trace.
+  if (config_.faultPlan.empty() && !config_.faultPlanPath.empty()) {
+    config_.faultPlan = fault::loadFaultPlan(config_.faultPlanPath);
+  }
+  if (!config_.faultPlan.outages.empty() ||
+      !config_.faultPlan.flashCrowds.empty()) {
+    // Compose the outage/flash-crowd windows over the trace so the
+    // network's online oracle, the availability services, maintenance
+    // and initiator picking all see the same degraded world. The PDF
+    // stays healthy: the overlay delegates fullAvailability() to the
+    // inner model.
+    trace_ = std::make_unique<fault::OutageOverlayModel>(std::move(trace_),
+                                                         config_.faultPlan);
+  }
+  buildSystem(config_);
 }
 
 void AvmemSimulation::buildSystem(const SimulationConfig& config) {
@@ -81,6 +99,18 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
         return tracePtr->onlineAt(i, simPtr->now());
       },
       net::paperDefaultLatency(), rng_.fork("latency"));
+
+  // Fault injection: consulted by the network and the shuffle channel at
+  // every delivery-scheduling point. Absent a plan the pointer stays
+  // null and those seams are byte-identical to a faultless build.
+  if (!config.faultPlan.empty()) {
+    fault_ = std::make_unique<fault::FaultInjector>(config.faultPlan);
+    network_->setFaultInjector(fault_.get());
+    attackTasks_.clear();
+    for (std::size_t i = 0; i < config.faultPlan.attacks.size(); ++i) {
+      attackTasks_.push_back(std::make_unique<sim::PeriodicTask>());
+    }
+  }
 
   // Availability monitoring.
   oracle_ = std::make_unique<avmon::OracleAvailabilityService>(*trace_, *sim_);
@@ -287,6 +317,43 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
       rng_.fork("multicast"));
 }
 
+void AvmemSimulation::startAttackCampaigns() {
+  for (std::size_t i = 0; i < attackTasks_.size(); ++i) {
+    const fault::AttackStage& stage = config_.faultPlan.attacks[i];
+    if (sim_->now().toMicros() >= stage.toUs) continue;  // window passed
+    const std::int64_t firstUs =
+        std::max(stage.fromUs, sim_->now().toMicros());
+    attackTasks_[i]->start(*sim_, sim::SimTime::micros(firstUs),
+                           sim::SimDuration::micros(stage.periodUs),
+                           [this, i] { fireAttackStage(i); });
+  }
+}
+
+void AvmemSimulation::fireAttackStage(std::size_t i) {
+  const fault::AttackStage& stage = config_.faultPlan.attacks[i];
+  if (sim_->now().toMicros() >= stage.toUs) {
+    attackTasks_[i]->stop();  // campaign window closed
+    return;
+  }
+  // Attacker choice is a pure function of (plan seed, stage, sweep
+  // index) — the sweep counter lives in the injector so a mid-campaign
+  // checkpoint resumes the exact attacker sequence. Bounded rejection
+  // sampling finds an online attacker; an all-offline population just
+  // wastes the sweep.
+  const std::uint64_t sweepIdx = fault_->nextAttackSweep(i);
+  sim::Rng r = fault_->attackerRng(i, sweepIdx);
+  const auto n = static_cast<std::uint64_t>(nodes_.size());
+  auto attacker = static_cast<NodeIndex>(r.below(n));
+  for (int tries = 0; tries < 64 && !isOnline(attacker); ++tries) {
+    attacker = static_cast<NodeIndex>(r.below(n));
+  }
+  if (!isOnline(attacker)) return;
+  const VerificationSweep sweep = stage.flooding
+                                      ? floodingAttack(*this, attacker)
+                                      : legitimateTraffic(*this, attacker);
+  fault_->recordSweep(sweep.targets, sweep.accepted);
+}
+
 void AvmemSimulation::warmup(sim::SimDuration duration) {
   if (!started_ && !config_.checkpointIn.empty()) {
     // Restore replaces the warm-up entirely: the clock jumps to the
@@ -301,6 +368,7 @@ void AvmemSimulation::warmup(sim::SimDuration duration) {
       if (feed_ != nullptr) {
         feed_->start(*sim_, config_.protocol.discoveryPeriod);
       }
+      if (fault_ != nullptr) startAttackCampaigns();
     }
     sim_->runUntil(sim_->now() + duration);
     if (!config_.checkpointOut.empty()) {

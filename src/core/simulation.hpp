@@ -29,6 +29,8 @@
 #include "core/membership_engine.hpp"
 #include "core/multicast.hpp"
 #include "core/predicates.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -164,6 +166,20 @@ struct SimulationConfig {
   /// AVMEM_CHECKPOINT / AVMEM_CHECKPOINT_OUT environment overrides.
   std::string checkpointIn;
   std::string checkpointOut;
+
+  /// Deterministic fault injection (src/fault/, docs/ARCHITECTURE.md
+  /// "Fault injection"). `faultPlan` is the campaign itself — loss
+  /// windows, correlated regional outages, flash crowds, attacker
+  /// sweeps; when it is empty() no injector is built and the wire path
+  /// is byte-identical to a faultless build. `faultPlanPath` is I/O
+  /// plumbing like the checkpoint paths (EXCLUDED from the config
+  /// fingerprint): when non-empty and `faultPlan` is empty, the
+  /// campaign file is parsed at construction. The *parsed plan's*
+  /// contents DO feed the fingerprint — a mid-campaign checkpoint only
+  /// restores into the same campaign. Scenario builders honor the
+  /// AVMEM_FAULT_PLAN environment override.
+  fault::FaultPlan faultPlan{};
+  std::string faultPlanPath;
 };
 
 /// Availability band used to pick initiators (paper Section 4.2:
@@ -294,6 +310,11 @@ class AvmemSimulation {
   [[nodiscard]] const CandidateFeed* candidateFeed() const noexcept {
     return feed_.get();
   }
+  /// The fault injector; nullptr unless the config carries a non-empty
+  /// fault plan (chaos scenarios).
+  [[nodiscard]] const fault::FaultInjector* faultInjector() const noexcept {
+    return fault_.get();
+  }
   /// Effective maintenance plan-phase thread count after auto-resolution
   /// and the concurrency-safety clamp (1 = serial).
   [[nodiscard]] std::size_t maintenanceThreads() const noexcept {
@@ -356,6 +377,12 @@ class AvmemSimulation {
   friend struct avmem::snapshot::CheckpointAccess;
 
   void buildSystem(const SimulationConfig& config);
+  /// Arm the plan's attacker-campaign timers (fresh-start path; the
+  /// checkpoint restore path re-arms them from the FALT section instead).
+  void startAttackCampaigns();
+  /// One firing of attack stage `i` (periodic until the stage window
+  /// closes).
+  void fireAttackStage(std::size_t i);
 
   SimulationConfig config_;
   std::unique_ptr<trace::AvailabilityModel> trace_;
@@ -375,6 +402,10 @@ class AvmemSimulation {
   std::vector<AvmemNode> nodes_;
   std::unique_ptr<sim::WorkerPool> pool_;
   std::unique_ptr<CandidateFeed> feed_;
+  std::unique_ptr<fault::FaultInjector> fault_;
+  /// One periodic timer per attack stage (unique_ptr: PeriodicTask's
+  /// rescheduling closure captures its own address).
+  std::vector<std::unique_ptr<sim::PeriodicTask>> attackTasks_;
   std::unique_ptr<MembershipEngine> engine_;
   std::unique_ptr<AnycastEngine> anycastEngine_;
   std::unique_ptr<MulticastEngine> multicastEngine_;

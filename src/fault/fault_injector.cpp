@@ -1,0 +1,104 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace avmem::fault {
+
+OutageOverlayModel::OutageOverlayModel(
+    std::unique_ptr<trace::AvailabilityModel> inner, const FaultPlan& plan)
+    : inner_(std::move(inner)), seed_(plan.seed), regions_(plan.regions) {
+  const std::int64_t epochUs = inner_->epochDuration().toMicros();
+  const std::size_t epochs = inner_->epochCount();
+  if (epochUs <= 0 || epochs == 0) {
+    throw FaultPlanError("outage overlay: inner model has no epochs");
+  }
+  const std::size_t lastEpoch = epochs - 1;
+  std::uint64_t salt = 0;
+  const auto resolve = [&](std::int64_t fromUs, std::int64_t toUs,
+                           bool forceOnline, std::uint32_t region,
+                           double fraction) {
+    Window w;
+    // Every epoch the [fromUs, toUs) window overlaps is claimed whole.
+    w.fromEpoch = static_cast<std::size_t>(fromUs / epochUs);
+    w.toEpoch = static_cast<std::size_t>((toUs - 1) / epochUs);
+    w.fromEpoch = std::min(w.fromEpoch, lastEpoch);
+    w.toEpoch = std::min(w.toEpoch, lastEpoch);
+    w.forceOnline = forceOnline;
+    w.region = region;
+    w.fraction = fraction;
+    w.salt = salt++;
+    windows_.push_back(w);
+  };
+  for (const auto& s : plan.outages) {
+    resolve(s.fromUs, s.toUs, /*forceOnline=*/false, s.region, s.fraction);
+  }
+  for (const auto& s : plan.flashCrowds) {
+    resolve(s.fromUs, s.toUs, /*forceOnline=*/true, 0, s.fraction);
+  }
+  // The parser rejected microsecond-level overlap; re-check after epoch
+  // quantization (adjacent windows can round onto a shared boundary
+  // epoch), because onlineEpochsThrough()'s O(1) per-window adjustment
+  // assumes at most one forcing window per host per epoch.
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows_.size(); ++j) {
+      const Window& a = windows_[i];
+      const Window& b = windows_[j];
+      const bool shareEpochs =
+          a.fromEpoch <= b.toEpoch && b.fromEpoch <= a.toEpoch;
+      if (!shareEpochs) continue;
+      const bool disjointHosts = !a.forceOnline && !b.forceOnline &&
+                                 a.region != b.region;
+      if (disjointHosts) continue;
+      throw FaultPlanError(
+          "outage overlay: two forcing windows share epoch(s) " +
+          std::to_string(std::max(a.fromEpoch, b.fromEpoch)) + ".." +
+          std::to_string(std::min(a.toEpoch, b.toEpoch)) +
+          " after quantization to " + std::to_string(epochUs / 60'000'000) +
+          "-minute epochs; separate the windows by at least one epoch");
+    }
+  }
+}
+
+bool OutageOverlayModel::affects(const Window& w, trace::HostIndex h) const {
+  if (!w.forceOnline && hashRegionOf(seed_, regions_, h) != w.region) {
+    return false;
+  }
+  if (w.fraction >= 1.0) return true;
+  return sim::Rng::stream(seed_, detail::kWindowSaltBase + w.salt, h)
+             .uniform() < w.fraction;
+}
+
+bool OutageOverlayModel::onlineInEpoch(trace::HostIndex h,
+                                       std::size_t e) const {
+  bool forcedOnline = false;
+  for (const Window& w : windows_) {
+    if (e < w.fromEpoch || e > w.toEpoch) continue;
+    if (!affects(w, h)) continue;
+    if (!w.forceOnline) return false;  // an outage always wins
+    forcedOnline = true;
+  }
+  return forcedOnline || inner_->onlineInEpoch(h, e);
+}
+
+std::uint64_t OutageOverlayModel::onlineEpochsThrough(trace::HostIndex h,
+                                                      std::size_t e) const {
+  std::uint64_t count = inner_->onlineEpochsThrough(h, e);
+  for (const Window& w : windows_) {
+    if (w.fromEpoch > e) continue;
+    if (!affects(w, h)) continue;
+    const std::size_t hi = std::min(e, w.toEpoch);
+    const std::uint64_t before =
+        w.fromEpoch == 0 ? 0 : inner_->onlineEpochsThrough(h, w.fromEpoch - 1);
+    const std::uint64_t innerOnline =
+        inner_->onlineEpochsThrough(h, hi) - before;
+    if (w.forceOnline) {
+      count += (hi - w.fromEpoch + 1) - innerOnline;
+    } else {
+      count -= innerOnline;
+    }
+  }
+  return count;
+}
+
+}  // namespace avmem::fault

@@ -1,0 +1,451 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sim/random.hpp"
+
+namespace avmem::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line-level helpers. The format is deliberately tiny: '#' comments,
+// [section] headers opening a stage, key = value lines, global keys
+// (seed / regions) allowed only before the first section.
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw FaultPlanError("fault plan line " + std::to_string(line) + ": " +
+                       what);
+}
+
+[[nodiscard]] double parseDouble(int line, std::string_view key,
+                                 std::string_view value) {
+  const std::string buf(value);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    fail(line, std::string(key) + ": not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+[[nodiscard]] std::int64_t parseInt(int line, std::string_view key,
+                                    std::string_view value) {
+  const std::string buf(value);
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    fail(line, std::string(key) + ": not an integer: '" + buf + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+[[nodiscard]] std::uint64_t parseU64(int line, std::string_view key,
+                                     std::string_view value) {
+  const std::string buf(value);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0' || buf.front() == '-') {
+    fail(line, std::string(key) + ": not an unsigned integer: '" + buf + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+[[nodiscard]] double parseRate(int line, std::string_view key,
+                               std::string_view value) {
+  const double v = parseDouble(line, key, value);
+  if (v < 0.0 || v > 1.0) {
+    fail(line, std::string(key) + ": rate must be in [0, 1], got " +
+                   std::string(value));
+  }
+  return v;
+}
+
+[[nodiscard]] std::int64_t hoursToUs(double h) noexcept {
+  return static_cast<std::int64_t>(h * 3600e6);
+}
+
+// ---------------------------------------------------------------------------
+// Stage assembly: one in-flight stage at a time, finalized when the next
+// section opens or the file ends.
+
+enum class Section { kGlobal, kLoss, kOutage, kFlashCrowd, kAttack };
+
+struct PendingStage {
+  Section section = Section::kGlobal;
+  int openedAtLine = 0;
+  // Superset of every section's fields; `seen` gates validity.
+  double fromH = 0.0, toH = 0.0;
+  double drop = 0.0, duplicate = 0.0, delay = 0.0;
+  double delayMaxMs = 0.0;
+  std::int64_t srcRegion = kAnyRegion, dstRegion = kAnyRegion;
+  std::int64_t region = 0;
+  double fraction = -1.0;
+  double periodS = 0.0;
+  bool flooding = true;
+  std::vector<std::string> seen;
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    for (const auto& k : seen) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  void mark(int line, std::string_view key) {
+    if (has(key)) fail(line, "duplicate key '" + std::string(key) + "'");
+    seen.emplace_back(key);
+  }
+};
+
+struct Parser {
+  FaultPlan plan;
+  PendingStage stage;
+  bool sawSection = false;
+  int line = 0;
+
+  void window(std::int64_t& fromUs, std::int64_t& toUs) const {
+    if (!stage.has("from_h") || !stage.has("to_h")) {
+      fail(stage.openedAtLine, "stage needs both from_h and to_h");
+    }
+    fromUs = hoursToUs(stage.fromH);
+    toUs = hoursToUs(stage.toH);
+    if (fromUs < 0) fail(stage.openedAtLine, "from_h must be >= 0");
+    if (toUs <= fromUs) {
+      fail(stage.openedAtLine, "to_h must be greater than from_h");
+    }
+  }
+
+  void finalizeStage() {
+    switch (stage.section) {
+      case Section::kGlobal:
+        break;
+      case Section::kLoss: {
+        LossStage s;
+        window(s.fromUs, s.toUs);
+        s.drop = stage.drop;
+        s.duplicate = stage.duplicate;
+        s.delay = stage.delay;
+        s.delayMaxUs = static_cast<std::int64_t>(stage.delayMaxMs * 1e3);
+        if (s.delay > 0.0 && s.delayMaxUs <= 0) {
+          fail(stage.openedAtLine,
+               "delay > 0 needs a positive delay_max_ms");
+        }
+        if (s.drop == 0.0 && s.duplicate == 0.0 && s.delay == 0.0) {
+          fail(stage.openedAtLine,
+               "[loss] stage injects nothing: set drop, duplicate or delay");
+        }
+        s.srcRegion = static_cast<std::int32_t>(stage.srcRegion);
+        s.dstRegion = static_cast<std::int32_t>(stage.dstRegion);
+        plan.loss.push_back(s);
+        break;
+      }
+      case Section::kOutage: {
+        OutageStage s;
+        window(s.fromUs, s.toUs);
+        if (!stage.has("region")) {
+          fail(stage.openedAtLine, "[outage] stage needs a region");
+        }
+        s.region = static_cast<std::uint32_t>(stage.region);
+        s.fraction = stage.has("fraction") ? stage.fraction : 1.0;
+        if (s.fraction <= 0.0 || s.fraction > 1.0) {
+          fail(stage.openedAtLine, "fraction must be in (0, 1]");
+        }
+        plan.outages.push_back(s);
+        break;
+      }
+      case Section::kFlashCrowd: {
+        FlashCrowdStage s;
+        window(s.fromUs, s.toUs);
+        if (!stage.has("fraction")) {
+          fail(stage.openedAtLine, "[flashcrowd] stage needs a fraction");
+        }
+        s.fraction = stage.fraction;
+        if (s.fraction <= 0.0 || s.fraction > 1.0) {
+          fail(stage.openedAtLine, "fraction must be in (0, 1]");
+        }
+        plan.flashCrowds.push_back(s);
+        break;
+      }
+      case Section::kAttack: {
+        AttackStage s;
+        window(s.fromUs, s.toUs);
+        if (!stage.has("period_s")) {
+          fail(stage.openedAtLine, "[attack] stage needs a period_s");
+        }
+        if (stage.periodS <= 0.0) {
+          fail(stage.openedAtLine, "period_s must be positive");
+        }
+        s.periodUs = static_cast<std::int64_t>(stage.periodS * 1e6);
+        s.flooding = stage.flooding;
+        plan.attacks.push_back(s);
+        break;
+      }
+    }
+    stage = PendingStage{};
+  }
+
+  void openSection(std::string_view name) {
+    finalizeStage();
+    sawSection = true;
+    stage.openedAtLine = line;
+    if (name == "loss") {
+      stage.section = Section::kLoss;
+    } else if (name == "outage") {
+      stage.section = Section::kOutage;
+    } else if (name == "flashcrowd") {
+      stage.section = Section::kFlashCrowd;
+    } else if (name == "attack") {
+      stage.section = Section::kAttack;
+    } else {
+      fail(line, "unknown section [" + std::string(name) + "]");
+    }
+  }
+
+  void globalKey(std::string_view key, std::string_view value) {
+    if (key == "seed") {
+      plan.seed = parseU64(line, key, value);
+    } else if (key == "regions") {
+      const std::uint64_t r = parseU64(line, key, value);
+      if (r == 0 || r > 1024) {
+        fail(line, "regions must be in [1, 1024]");
+      }
+      plan.regions = static_cast<std::uint32_t>(r);
+    } else {
+      fail(line, "unknown global key '" + std::string(key) +
+                     "' (global keys: seed, regions)");
+    }
+  }
+
+  void stageKey(std::string_view key, std::string_view value) {
+    stage.mark(line, key);
+    const Section sec = stage.section;
+    if (key == "from_h") {
+      stage.fromH = parseDouble(line, key, value);
+      return;
+    }
+    if (key == "to_h") {
+      stage.toH = parseDouble(line, key, value);
+      return;
+    }
+    const bool loss = sec == Section::kLoss;
+    if (loss && key == "drop") {
+      stage.drop = parseRate(line, key, value);
+    } else if (loss && key == "duplicate") {
+      stage.duplicate = parseRate(line, key, value);
+    } else if (loss && key == "delay") {
+      stage.delay = parseRate(line, key, value);
+    } else if (loss && key == "delay_max_ms") {
+      stage.delayMaxMs = parseDouble(line, key, value);
+      if (stage.delayMaxMs < 0.0) fail(line, "delay_max_ms must be >= 0");
+    } else if (loss && (key == "src_region" || key == "dst_region")) {
+      const std::int64_t r = parseInt(line, key, value);
+      if (r < kAnyRegion || r >= static_cast<std::int64_t>(plan.regions)) {
+        fail(line, std::string(key) + ": region out of range (have " +
+                       std::to_string(plan.regions) + " regions; -1 = any)");
+      }
+      (key == "src_region" ? stage.srcRegion : stage.dstRegion) = r;
+    } else if (sec == Section::kOutage && key == "region") {
+      const std::int64_t r = parseInt(line, key, value);
+      if (r < 0 || r >= static_cast<std::int64_t>(plan.regions)) {
+        fail(line, "region out of range (have " +
+                       std::to_string(plan.regions) + " regions)");
+      }
+      stage.region = r;
+    } else if ((sec == Section::kOutage || sec == Section::kFlashCrowd) &&
+               key == "fraction") {
+      stage.fraction = parseDouble(line, key, value);
+    } else if (sec == Section::kAttack && key == "period_s") {
+      stage.periodS = parseDouble(line, key, value);
+    } else if (sec == Section::kAttack && key == "kind") {
+      if (value == "flooding") {
+        stage.flooding = true;
+      } else if (value == "legitimate") {
+        stage.flooding = false;
+      } else {
+        fail(line, "kind must be 'flooding' or 'legitimate', got '" +
+                       std::string(value) + "'");
+      }
+    } else {
+      fail(line, "unknown key '" + std::string(key) + "' in this section");
+    }
+  }
+
+  void feed(std::string_view raw) {
+    ++line;
+    std::string_view s = raw;
+    if (const auto hash = s.find('#'); hash != std::string_view::npos) {
+      s = s.substr(0, hash);
+    }
+    s = trim(s);
+    if (s.empty()) return;
+    if (s.front() == '[') {
+      if (s.back() != ']' || s.size() < 3) {
+        fail(line, "malformed section header '" + std::string(s) + "'");
+      }
+      openSection(trim(s.substr(1, s.size() - 2)));
+      return;
+    }
+    const auto eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line, "expected key = value, got '" + std::string(s) + "'");
+    }
+    const std::string_view key = trim(s.substr(0, eq));
+    const std::string_view value = trim(s.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      fail(line, "expected key = value, got '" + std::string(s) + "'");
+    }
+    if (!sawSection) {
+      globalKey(key, value);
+    } else {
+      stageKey(key, value);
+    }
+  }
+};
+
+[[nodiscard]] bool windowsOverlap(std::int64_t aFrom, std::int64_t aTo,
+                                  std::int64_t bFrom,
+                                  std::int64_t bTo) noexcept {
+  return aFrom < bTo && bFrom < aTo;
+}
+
+// Cross-stage validation: the availability overlay's O(1) prefix-count
+// adjustment needs "at most one forcing window per host per epoch", so
+// same-region outages may not overlap, and flash crowds may not overlap
+// each other or any outage. (The overlay re-checks at epoch granularity
+// once it knows the trace's epoch duration.)
+void validateOverlap(const FaultPlan& plan) {
+  const auto& o = plan.outages;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    for (std::size_t j = i + 1; j < o.size(); ++j) {
+      if (o[i].region == o[j].region &&
+          windowsOverlap(o[i].fromUs, o[i].toUs, o[j].fromUs, o[j].toUs)) {
+        throw FaultPlanError(
+            "fault plan: overlapping [outage] windows for region " +
+            std::to_string(o[i].region));
+      }
+    }
+  }
+  const auto& f = plan.flashCrowds;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    for (std::size_t j = i + 1; j < f.size(); ++j) {
+      if (windowsOverlap(f[i].fromUs, f[i].toUs, f[j].fromUs, f[j].toUs)) {
+        throw FaultPlanError(
+            "fault plan: overlapping [flashcrowd] windows");
+      }
+    }
+    for (const auto& out : o) {
+      if (windowsOverlap(f[i].fromUs, f[i].toUs, out.fromUs, out.toUs)) {
+        throw FaultPlanError(
+            "fault plan: [flashcrowd] window overlaps an [outage] window");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t FaultPlan::firstStageStartUs() const noexcept {
+  if (empty()) return 0;
+  std::int64_t first = INT64_MAX;
+  for (const auto& s : loss) first = std::min(first, s.fromUs);
+  for (const auto& s : outages) first = std::min(first, s.fromUs);
+  for (const auto& s : flashCrowds) first = std::min(first, s.fromUs);
+  for (const auto& s : attacks) first = std::min(first, s.fromUs);
+  return first;
+}
+
+std::int64_t FaultPlan::lastStageEndUs() const noexcept {
+  std::int64_t last = 0;
+  for (const auto& s : loss) last = std::max(last, s.toUs);
+  for (const auto& s : outages) last = std::max(last, s.toUs);
+  for (const auto& s : flashCrowds) last = std::max(last, s.toUs);
+  for (const auto& s : attacks) last = std::max(last, s.toUs);
+  return last;
+}
+
+std::uint64_t FaultPlan::fingerprint() const noexcept {
+  if (empty()) return 0;
+  std::uint64_t h = 0x4641554C54504C4Eull;  // "FAULTPLN"
+  const auto add = [&h](std::uint64_t v) {
+    std::uint64_t s = h ^ v;
+    h = sim::splitMix64(s);
+  };
+  const auto addF = [&add](double v) {
+    add(std::bit_cast<std::uint64_t>(v));
+  };
+  add(seed);
+  add(regions);
+  add(loss.size());
+  for (const auto& s : loss) {
+    add(static_cast<std::uint64_t>(s.fromUs));
+    add(static_cast<std::uint64_t>(s.toUs));
+    addF(s.drop);
+    addF(s.duplicate);
+    addF(s.delay);
+    add(static_cast<std::uint64_t>(s.delayMaxUs));
+    add(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.srcRegion)));
+    add(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.dstRegion)));
+  }
+  add(outages.size());
+  for (const auto& s : outages) {
+    add(static_cast<std::uint64_t>(s.fromUs));
+    add(static_cast<std::uint64_t>(s.toUs));
+    add(s.region);
+    addF(s.fraction);
+  }
+  add(flashCrowds.size());
+  for (const auto& s : flashCrowds) {
+    add(static_cast<std::uint64_t>(s.fromUs));
+    add(static_cast<std::uint64_t>(s.toUs));
+    addF(s.fraction);
+  }
+  add(attacks.size());
+  for (const auto& s : attacks) {
+    add(static_cast<std::uint64_t>(s.fromUs));
+    add(static_cast<std::uint64_t>(s.toUs));
+    add(static_cast<std::uint64_t>(s.periodUs));
+    add(s.flooding ? 1u : 0u);
+  }
+  return h;
+}
+
+FaultPlan parseFaultPlan(std::istream& in) {
+  Parser p;
+  std::string lineBuf;
+  while (std::getline(in, lineBuf)) {
+    p.feed(lineBuf);
+  }
+  p.finalizeStage();
+  validateOverlap(p.plan);
+  return std::move(p.plan);
+}
+
+FaultPlan parseFaultPlanText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parseFaultPlan(in);
+}
+
+FaultPlan loadFaultPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw FaultPlanError("fault plan: cannot open '" + path + "'");
+  }
+  return parseFaultPlan(in);
+}
+
+}  // namespace avmem::fault

@@ -25,6 +25,7 @@
 #include <memory>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
 #include "net/latency.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -34,6 +35,10 @@ namespace avmem::net {
 
 /// Dense node address within one simulation.
 using NodeIndex = std::uint32_t;
+
+/// "Sender unknown at this call site" — endpoint-blind sends pass this,
+/// and region-scoped fault stages then never match them.
+inline constexpr NodeIndex kUnknownSender = 0xFFFFFFFFu;
 
 /// Answers "is node n online right now?" — implemented by the simulation
 /// harness over the churn trace.
@@ -53,6 +58,11 @@ struct NetworkStats {
   std::uint64_t acksSent = 0;
   std::uint64_t ackTimeouts = 0;
   std::uint64_t bytesSent = 0;
+  /// Injected-fault accounting (fault/fault_injector.hpp); both stay 0
+  /// unless a fault plan is active. A duplicated message can make
+  /// `delivered` exceed `sent` — the wire really did deliver two copies.
+  std::uint64_t duplicated = 0;
+  std::uint64_t injectedDrops = 0;
 };
 
 /// The message-passing fabric shared by all simulated nodes.
@@ -73,19 +83,29 @@ class Network {
 
   /// Fire-and-forget datagram. `onDeliver` runs only if `dst` is online at
   /// the delivery instant. `approxBytes` feeds the bandwidth accounting.
+  /// `src` is accounting-only context for the fault injector's region
+  /// scoping; callers that know the sender should pass it.
   void send(NodeIndex dst, DeliveryFn onDeliver,
-            std::size_t approxBytes = kDefaultMessageBytes) {
+            std::size_t approxBytes = kDefaultMessageBytes,
+            NodeIndex src = kUnknownSender) {
     ++stats_.sent;
     stats_.bytesSent += approxBytes;
-    const sim::SimDuration lat = latency_->sample(rng_);
-    sim_.schedule(lat, [this, dst, fn = std::move(onDeliver)] {
-      if (!online_(dst)) {
-        ++stats_.droppedOffline;
-        return;
+    sim::SimDuration lat = latency_->sample(rng_);
+    if (fault_ != nullptr) {
+      const fault::WireVerdict v = fault_->onWire(
+          fault::WireKind::kDatagram, src, dst, sim_.now().toMicros());
+      if (v.drop) {
+        ++stats_.injectedDrops;
+        return;  // vanished on the wire; nothing is ever delivered
       }
-      ++stats_.delivered;
-      fn(sim_.now());
-    });
+      if (v.duplicate) {
+        ++stats_.duplicated;
+        scheduleDelivery(dst, onDeliver,
+                         lat + sim::SimDuration::micros(v.duplicateDelayUs));
+      }
+      lat += sim::SimDuration::micros(v.extraDelayUs);
+    }
+    scheduleDelivery(dst, std::move(onDeliver), lat);
   }
 
   /// Called at the delivery instant; returns whether the receiver accepts
@@ -101,7 +121,8 @@ class Network {
   void sendWithAck(NodeIndex dst, AckedDeliveryFn onDeliver,
                    std::function<void()> onAck,
                    std::function<void()> onTimeout, sim::SimDuration timeout,
-                   std::size_t approxBytes = kDefaultMessageBytes) {
+                   std::size_t approxBytes = kDefaultMessageBytes,
+                   NodeIndex src = kUnknownSender) {
     ++stats_.sent;
     stats_.bytesSent += approxBytes;
 
@@ -115,32 +136,42 @@ class Network {
       fnTimeout();
     });
 
-    const sim::SimDuration lat = latency_->sample(rng_);
-    sim_.schedule(lat, [this, dst, settled, fnDeliver = std::move(onDeliver),
-                        fnAck = std::move(onAck)]() mutable {
-      if (!online_(dst)) {
-        ++stats_.droppedOffline;
-        return;  // no ack will ever come; the timeout will fire
+    sim::SimDuration lat = latency_->sample(rng_);
+    if (fault_ != nullptr) {
+      const fault::WireVerdict v = fault_->onWire(
+          fault::WireKind::kAckRequest, src, dst, sim_.now().toMicros());
+      if (v.drop) {
+        ++stats_.injectedDrops;
+        return;  // request lost: the timeout (already armed) will fire
       }
-      ++stats_.delivered;
-      if (!fnDeliver(sim_.now())) {
-        ++stats_.rejected;
-        return;  // receiver rejected: no ack; the timeout will fire
+      if (v.duplicate) {
+        // Both copies are full request deliveries: the receiver sees the
+        // message twice and each acceptance acks independently (the
+        // settled flag makes the second ack a no-op at the sender).
+        ++stats_.duplicated;
+        scheduleAckedDelivery(dst, src, onDeliver, onAck, settled,
+                              lat + sim::SimDuration::micros(
+                                        v.duplicateDelayUs));
       }
-      // Ack travels back with an independent latency sample.
-      ++stats_.acksSent;
-      stats_.bytesSent += kAckBytes;
-      const sim::SimDuration back = latency_->sample(rng_);
-      sim_.schedule(back, [settled, fnAck = std::move(fnAck)] {
-        if (*settled) return;
-        *settled = true;
-        fnAck();
-      });
-    });
+      lat += sim::SimDuration::micros(v.extraDelayUs);
+    }
+    scheduleAckedDelivery(dst, src, std::move(onDeliver), std::move(onAck),
+                          settled, lat);
   }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void resetStats() noexcept { stats_ = NetworkStats{}; }
+
+  /// Install (or clear) the fault injector consulted at every
+  /// delivery-scheduling point. When null — the default — the wire path
+  /// is byte-identical to a build without fault/ in the picture: no
+  /// extra randomness is drawn and no schedule changes.
+  void setFaultInjector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* faultInjector() const noexcept {
+    return fault_;
+  }
 
   /// Warm-state checkpointing (snapshot/): the wire counters plus the
   /// latency-sampling RNG, so post-restore sends draw the same latencies
@@ -174,11 +205,71 @@ class Network {
   /// account identically.
   friend class ShuffleChannel;
 
+  void scheduleDelivery(NodeIndex dst, DeliveryFn fn, sim::SimDuration lat) {
+    sim_.schedule(lat, [this, dst, fn = std::move(fn)] {
+      if (!online_(dst)) {
+        ++stats_.droppedOffline;
+        return;
+      }
+      ++stats_.delivered;
+      fn(sim_.now());
+    });
+  }
+
+  void scheduleAckedDelivery(NodeIndex dst, NodeIndex src,
+                             AckedDeliveryFn fnDeliver,
+                             std::function<void()> fnAck,
+                             std::shared_ptr<bool> settled,
+                             sim::SimDuration lat) {
+    sim_.schedule(lat, [this, dst, src, settled = std::move(settled),
+                        fnDeliver = std::move(fnDeliver),
+                        fnAck = std::move(fnAck)]() mutable {
+      if (!online_(dst)) {
+        ++stats_.droppedOffline;
+        return;  // no ack will ever come; the timeout will fire
+      }
+      ++stats_.delivered;
+      if (!fnDeliver(sim_.now())) {
+        ++stats_.rejected;
+        return;  // receiver rejected: no ack; the timeout will fire
+      }
+      // Ack travels back with an independent latency sample.
+      ++stats_.acksSent;
+      stats_.bytesSent += kAckBytes;
+      sim::SimDuration back = latency_->sample(rng_);
+      if (fault_ != nullptr) {
+        const fault::WireVerdict v = fault_->onWire(
+            fault::WireKind::kAck, dst, src, sim_.now().toMicros());
+        if (v.drop) {
+          ++stats_.injectedDrops;
+          return;  // ack lost: the sender times out despite acceptance
+        }
+        if (v.duplicate) {
+          ++stats_.duplicated;
+          sim_.schedule(
+              back + sim::SimDuration::micros(v.duplicateDelayUs),
+              [settled, fnAck] {
+                if (*settled) return;
+                *settled = true;
+                fnAck();
+              });
+        }
+        back += sim::SimDuration::micros(v.extraDelayUs);
+      }
+      sim_.schedule(back, [settled, fnAck = std::move(fnAck)] {
+        if (*settled) return;
+        *settled = true;
+        fnAck();
+      });
+    });
+  }
+
   sim::Simulator& sim_;
   OnlineOracle online_;
   std::unique_ptr<LatencyModel> latency_;
   sim::Rng rng_;
   NetworkStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace avmem::net

@@ -152,17 +152,36 @@ class ShuffleChannel {
     ++stats.sent;
     stats.bytesSent += payload.size() * Network::kMembershipEntryBytes;
 
-    ShuffleMsg req{};
-    req.kind = ShuffleMsg::Kind::kRequest;
-    req.src = src;
-    req.dst = dst;
-    req.payloadOffset = appendSpan(payload);
-    req.payloadCount = static_cast<std::uint32_t>(payload.size());
-    req.seq = nextSeq_;
-    req.rawDueUs = nowUs() + sampleLatencyUs();
-    req.dueUs = quantize(req.rawDueUs);
-    push(req);
-
+    // The latency sample is drawn whether or not the injector then drops
+    // the record, so the channel's wire RNG consumption never depends on
+    // fault dice.
+    const std::int64_t lat = sampleLatencyUs();
+    const WireFate fate = consult(fault::WireKind::kShuffleRequest, src, dst);
+    if (!fate.drop) {
+      ShuffleMsg req{};
+      req.kind = ShuffleMsg::Kind::kRequest;
+      req.src = src;
+      req.dst = dst;
+      req.payloadOffset = appendSpan(payload);
+      req.payloadCount = static_cast<std::uint32_t>(payload.size());
+      req.seq = nextSeq_;
+      req.rawDueUs = nowUs() + lat + fate.extraUs;
+      req.dueUs = quantize(req.rawDueUs);
+      push(req);
+      if (fate.duplicate) {
+        // The copy owns its own arena span — every heap record retires
+        // exactly the entries it references, keeping the liveEntries_
+        // invariant (and compaction) honest under duplication storms.
+        ShuffleMsg dup = req;
+        dup.payloadOffset = appendFromArena(req.payloadOffset,
+                                            req.payloadCount);
+        dup.rawDueUs = req.rawDueUs + fate.dupExtraUs;
+        dup.dueUs = quantize(dup.rawDueUs);
+        push(dup);
+      }
+    }
+    // The timeout sentinel always arms: a dropped request looks to the
+    // initiator exactly like an unresponsive partner.
     ShuffleMsg timeout{};
     timeout.kind = ShuffleMsg::Kind::kTimeout;
     timeout.src = src;
@@ -266,6 +285,24 @@ class ShuffleChannel {
   }
   [[nodiscard]] std::int64_t sampleLatencyUs() {
     return network_.latency_->sample(rng_).toMicros();
+  }
+
+  /// One injector consult, flattened for the channel's push sites. When
+  /// no injector is installed this is a no-op returning "deliver as-is".
+  struct WireFate {
+    bool drop = false;
+    bool duplicate = false;
+    std::int64_t extraUs = 0;
+    std::int64_t dupExtraUs = 0;
+  };
+  [[nodiscard]] WireFate consult(fault::WireKind kind, NodeIndex src,
+                                 NodeIndex dst) {
+    fault::FaultInjector* f = network_.fault_;
+    if (f == nullptr) return {};
+    const fault::WireVerdict v = f->onWire(kind, src, dst, nowUs());
+    if (v.drop) ++network_.stats_.injectedDrops;
+    if (v.duplicate) ++network_.stats_.duplicated;
+    return {v.drop, v.duplicate, v.extraDelayUs, v.duplicateDelayUs};
   }
   [[nodiscard]] std::int64_t quantize(std::int64_t dueUs) const noexcept {
     if (quantumUs_ <= 0) return dueUs;
@@ -425,29 +462,58 @@ class ShuffleChannel {
       ++stats.sent;
       stats.bytesSent +=
           outcome.reply.size() * Network::kMembershipEntryBytes;
-      ShuffleMsg reply{};
-      reply.kind = ShuffleMsg::Kind::kReply;
-      reply.src = req.dst;
-      reply.dst = req.src;
-      reply.seq = req.seq;
-      reply.payloadOffset = appendSpan(outcome.reply);
-      reply.payloadCount = static_cast<std::uint32_t>(outcome.reply.size());
-      reply.echoOffset = appendFromArena(req.payloadOffset, req.payloadCount);
-      reply.echoCount = req.payloadCount;
-      reply.rawDueUs = nowUs() + sampleLatencyUs();
-      reply.dueUs = quantize(reply.rawDueUs);
-      push(reply);
+      const std::int64_t replyLat = sampleLatencyUs();
+      const WireFate replyFate =
+          consult(fault::WireKind::kShuffleReply, req.dst, req.src);
+      if (!replyFate.drop) {
+        ShuffleMsg reply{};
+        reply.kind = ShuffleMsg::Kind::kReply;
+        reply.src = req.dst;
+        reply.dst = req.src;
+        reply.seq = req.seq;
+        reply.payloadOffset = appendSpan(outcome.reply);
+        reply.payloadCount = static_cast<std::uint32_t>(outcome.reply.size());
+        reply.echoOffset =
+            appendFromArena(req.payloadOffset, req.payloadCount);
+        reply.echoCount = req.payloadCount;
+        reply.rawDueUs = nowUs() + replyLat + replyFate.extraUs;
+        reply.dueUs = quantize(reply.rawDueUs);
+        push(reply);
+        if (replyFate.duplicate) {
+          ShuffleMsg dup = reply;
+          dup.payloadOffset =
+              appendFromArena(reply.payloadOffset, reply.payloadCount);
+          dup.echoOffset = appendFromArena(reply.echoOffset, reply.echoCount);
+          dup.rawDueUs = reply.rawDueUs + replyFate.dupExtraUs;
+          dup.dueUs = quantize(dup.rawDueUs);
+          push(dup);
+        }
+      }
 
       ++stats.acksSent;
       stats.bytesSent += Network::kAckBytes;
-      ShuffleMsg ack{};
-      ack.kind = ShuffleMsg::Kind::kAck;
-      ack.src = req.dst;
-      ack.dst = req.src;
-      ack.seq = req.seq;
-      ack.rawDueUs = nowUs() + sampleLatencyUs();
-      ack.dueUs = quantize(ack.rawDueUs);
-      push(ack);
+      const std::int64_t ackLat = sampleLatencyUs();
+      const WireFate ackFate =
+          consult(fault::WireKind::kShuffleAck, req.dst, req.src);
+      if (!ackFate.drop) {
+        // A dropped ack leaves the exchange settled at the receiver but
+        // the initiator times out anyway — the classic ack-loss storm
+        // the anycast/shuffle retry paths must tolerate.
+        ShuffleMsg ack{};
+        ack.kind = ShuffleMsg::Kind::kAck;
+        ack.src = req.dst;
+        ack.dst = req.src;
+        ack.seq = req.seq;
+        ack.rawDueUs = nowUs() + ackLat + ackFate.extraUs;
+        ack.dueUs = quantize(ack.rawDueUs);
+        push(ack);
+        if (ackFate.duplicate) {
+          ShuffleMsg dup = ack;
+          dup.rawDueUs = ack.rawDueUs + ackFate.dupExtraUs;
+          dup.dueUs = quantize(dup.rawDueUs);
+          push(dup);
+        }
+      }
     }
   }
 

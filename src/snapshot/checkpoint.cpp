@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "fault/fault_injector.hpp"
 #include "trace/markov_churn.hpp"
 
 namespace avmem::snapshot {
@@ -33,6 +34,7 @@ constexpr std::uint32_t kSecFeed = fourcc('F', 'E', 'E', 'D');
 constexpr std::uint32_t kSecNetwork = fourcc('N', 'E', 'T', 'W');
 constexpr std::uint32_t kSecRng = fourcc('S', 'R', 'N', 'G');
 constexpr std::uint32_t kSecMarkov = fourcc('M', 'R', 'K', 'V');
+constexpr std::uint32_t kSecFault = fourcc('F', 'A', 'L', 'T');
 
 // SimTime arrays are serialized as raw memory; keep that honest.
 static_assert(std::is_trivially_copyable_v<sim::SimTime> &&
@@ -257,7 +259,7 @@ std::vector<SlotRecord> readWheel(Cursor& c) {
 void verifyEventAccounting(const sim::Simulator& simulator,
                            const core::MembershipEngine& engine,
                            const avmon::ShuffleService& shuffle,
-                           bool hasFeed) {
+                           bool hasFeed, std::size_t attackTimers) {
   std::size_t accounted = engine.discoveryScheduler().activeShardCount() +
                           engine.refreshScheduler().activeShardCount() +
                           shuffle.scheduler().activeShardCount();
@@ -266,6 +268,7 @@ void verifyEventAccounting(const sim::Simulator& simulator,
     ++accounted;
   }
   if (hasFeed) ++accounted;  // the periodic seal task
+  accounted += attackTimers;  // running attacker-campaign timers (FALT)
   const std::size_t live = simulator.liveEventCount();
   if (live != accounted) {
     throw CheckpointUnsupportedError(
@@ -293,6 +296,32 @@ struct ArmRequest {
   std::int64_t atUs = 0;
   std::uint64_t savedSeq = 0;
   std::function<void()> arm;
+};
+
+/// The simulation's availability model may be wrapped in a fault-plan
+/// outage overlay; backend-specific state (the Markov cursor cache)
+/// lives on the inner model either way.
+const trace::AvailabilityModel* unwrapOverlay(
+    const trace::AvailabilityModel* m) {
+  if (const auto* ov = dynamic_cast<const fault::OutageOverlayModel*>(m)) {
+    return &ov->inner();
+  }
+  return m;
+}
+
+trace::AvailabilityModel* unwrapOverlay(trace::AvailabilityModel* m) {
+  if (auto* ov = dynamic_cast<fault::OutageOverlayModel*>(m)) {
+    return &ov->inner();
+  }
+  return m;
+}
+
+/// One saved attacker-campaign timer (FALT section).
+struct AttackRecord {
+  std::uint8_t running = 0;
+  std::int64_t fireAtUs = 0;
+  std::uint64_t seq = 0;       ///< tie-break rank (see rankSavedEvents)
+  std::uint64_t sweepsDone = 0;
 };
 
 }  // namespace
@@ -362,6 +391,11 @@ std::uint64_t configFingerprint(const SimulationConfig& config) {
   m.add(static_cast<std::uint64_t>(config.pdfBins));
   m.add(config.seed);
   m.add(static_cast<std::uint64_t>(config.maintenanceShards));
+  // The fault campaign is world state — a mid-campaign checkpoint only
+  // restores into the same campaign. faultPlanPath is I/O plumbing and
+  // stays excluded (the *parsed contents* are what matter); an empty
+  // plan fingerprints to 0, keeping faultless checkpoints stable.
+  m.add(config.faultPlan.fingerprint());
   return m.result();
 }
 
@@ -379,8 +413,12 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
         "stateless enough to checkpoint (avmon/aged/central hold monitor "
         "state the format does not capture)");
   }
+  std::size_t runningAttackTimers = 0;
+  for (const auto& task : sim.attackTasks_) {
+    if (task->running()) ++runningAttackTimers;
+  }
   verifyEventAccounting(*sim.sim_, *sim.engine_, *sim.shuffle_,
-                        sim.feed_ != nullptr);
+                        sim.feed_ != nullptr, runningAttackTimers);
 
   // Gather every saved event's (fire time, raw queue seq) up front, then
   // normalize the seqs to dense ranks so the file is canonical (see
@@ -408,6 +446,24 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
                         "feed seal");
   }
 
+  fault::FaultInjector::SavedState faultState;
+  std::vector<AttackRecord> attackRecs;
+  if (sim.fault_ != nullptr) {
+    faultState = sim.fault_->saveState();
+    attackRecs.resize(sim.attackTasks_.size());
+    for (std::size_t i = 0; i < sim.attackTasks_.size(); ++i) {
+      AttackRecord& rec = attackRecs[i];
+      rec.sweepsDone = faultState.attackSweepsDone[i];
+      const sim::PeriodicTask& task = *sim.attackTasks_[i];
+      if (task.running()) {
+        rec.running = 1;
+        rec.fireAtUs = task.nextFireAt().toMicros();
+        rec.seq = liveSeqOf(*sim.sim_, task.pendingHandle(),
+                            "attack campaign");
+      }
+    }
+  }
+
   {
     std::vector<std::uint64_t*> seqs;
     std::vector<std::int64_t> ats;
@@ -424,6 +480,11 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
     if (sim.feed_ != nullptr) {
       seqs.push_back(&sealSeq);
       ats.push_back(fs.sealNextFireAtUs);
+    }
+    for (AttackRecord& rec : attackRecs) {
+      if (rec.running == 0) continue;
+      seqs.push_back(&rec.seq);
+      ats.push_back(rec.fireAtUs);
     }
     rankSavedEvents(std::move(seqs), ats);
   }
@@ -527,8 +588,32 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
   sec.u64(ns.stats.acksSent);
   sec.u64(ns.stats.ackTimeouts);
   sec.u64(ns.stats.bytesSent);
+  sec.u64(ns.stats.duplicated);
+  sec.u64(ns.stats.injectedDrops);
   writeRngState(sec, ns.rngState);
   writer.writeSection(kSecNetwork, sec);
+
+  // FALT: the fault injector's counter streams, tallies, and attacker
+  // campaign timers (iff a plan is active). The campaign itself is not
+  // serialized — the config fingerprint already pins it.
+  if (sim.fault_ != nullptr) {
+    sec.clear();
+    for (const std::uint64_t s : faultState.wireSeq) sec.u64(s);
+    sec.u64(faultState.stats.injectedDrops);
+    sec.u64(faultState.stats.duplicated);
+    sec.u64(faultState.stats.delayed);
+    sec.u64(faultState.stats.attackSweeps);
+    sec.u64(faultState.stats.attackTargets);
+    sec.u64(faultState.stats.attackAccepted);
+    sec.u64(attackRecs.size());
+    for (const AttackRecord& rec : attackRecs) {
+      sec.u8(rec.running);
+      sec.i64(rec.fireAtUs);
+      sec.u64(rec.seq);
+      sec.u64(rec.sweepsDone);
+    }
+    writer.writeSection(kSecFault, sec);
+  }
 
   // SRNG: the facade RNG (pickInitiator draws) — restoring it keeps
   // post-restore anycast batches identical to a straight-through run.
@@ -539,8 +624,8 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
   // MRKV: the Markov trace's per-host cursors. Pure caches — omitting
   // them changes no answer — but restoring them makes the first
   // post-restore epoch O(1) per host instead of a block replay.
-  if (const auto* markov =
-          dynamic_cast<const trace::MarkovChurnModel*>(sim.trace_.get())) {
+  if (const auto* markov = dynamic_cast<const trace::MarkovChurnModel*>(
+          unwrapOverlay(sim.trace_.get()))) {
     sec.clear();
     sec.raw<std::uint64_t>(markov->saveCursors());
     writer.writeSection(kSecMarkov, sec);
@@ -595,6 +680,9 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
   std::array<std::uint64_t, 4> facadeRng{};
   std::vector<std::uint64_t> markovCursors;
   bool haveMarkov = false;
+  fault::FaultInjector::SavedState faultState;
+  std::vector<AttackRecord> attackRecs;
+  bool haveFault = false;
 
   std::uint32_t id = 0;
   std::vector<std::uint8_t> payload;
@@ -705,8 +793,35 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
         netState.stats.acksSent = c.u64();
         netState.stats.ackTimeouts = c.u64();
         netState.stats.bytesSent = c.u64();
+        netState.stats.duplicated = c.u64();
+        netState.stats.injectedDrops = c.u64();
         netState.rngState = readRngState(c);
         haveNetwork = true;
+        break;
+      }
+      case kSecFault: {
+        for (std::uint64_t& s : faultState.wireSeq) s = c.u64();
+        faultState.stats.injectedDrops = c.u64();
+        faultState.stats.duplicated = c.u64();
+        faultState.stats.delayed = c.u64();
+        faultState.stats.attackSweeps = c.u64();
+        faultState.stats.attackTargets = c.u64();
+        faultState.stats.attackAccepted = c.u64();
+        const std::uint64_t count = c.u64();
+        constexpr std::size_t kRecBytes = 1 + 8 + 8 + 8;
+        if (count > c.remaining() / kRecBytes) {
+          throw CheckpointFormatError(
+              "checkpoint fault: attack count exceeds payload");
+        }
+        attackRecs.resize(static_cast<std::size_t>(count));
+        for (AttackRecord& rec : attackRecs) {
+          rec.running = c.u8();
+          rec.fireAtUs = c.i64();
+          rec.seq = c.u64();
+          rec.sweepsDone = c.u64();
+          faultState.attackSweepsDone.push_back(rec.sweepsDone);
+        }
+        haveFault = true;
         break;
       }
       case kSecRng: {
@@ -733,6 +848,17 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
     throw CheckpointFormatError(
         "checkpoint: feed enabled but no feed section saved");
   }
+  // The fingerprint already pins the campaign, so a mismatch here means
+  // a corrupt or hand-edited file, not a config drift.
+  if ((sim.fault_ != nullptr) != haveFault) {
+    throw CheckpointFormatError(
+        "checkpoint: fault plan active but no FALT section saved (or "
+        "vice versa)");
+  }
+  if (haveFault && attackRecs.size() != sim.attackTasks_.size()) {
+    throw CheckpointFormatError(
+        "checkpoint fault: attack stage count mismatch");
+  }
 
   // --- install state (no events scheduled yet) ---
 
@@ -752,8 +878,9 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
   if (sim.feed_ != nullptr) sim.feed_->restoreState(std::move(feedState));
   sim.network_->restoreState(netState);
   sim.rng_ = sim::Rng::fromState(facadeRng);
-  if (auto* markov =
-          dynamic_cast<trace::MarkovChurnModel*>(sim.trace_.get());
+  if (sim.fault_ != nullptr) sim.fault_->restoreState(faultState);
+  if (auto* markov = dynamic_cast<trace::MarkovChurnModel*>(
+          unwrapOverlay(sim.trace_.get()));
       markov != nullptr && haveMarkov) {
     markov->restoreCursors(markovCursors);
   }
@@ -804,6 +931,18 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
            sim.feed_->armSeal(*sim.sim_,
                               sim.config_.protocol.discoveryPeriod,
                               sim::SimTime::micros(sealAt));
+         }});
+  }
+  for (std::size_t i = 0; i < attackRecs.size(); ++i) {
+    const AttackRecord& rec = attackRecs[i];
+    if (rec.running == 0) continue;  // stage window already closed
+    arms.push_back(
+        {rec.fireAtUs, rec.seq, [&sim, i, at = rec.fireAtUs] {
+           sim.attackTasks_[i]->start(
+               *sim.sim_, sim::SimTime::micros(at),
+               sim::SimDuration::micros(
+                   sim.config_.faultPlan.attacks[i].periodUs),
+               [simPtr = &sim, i] { simPtr->fireAttackStage(i); });
          }});
   }
 

@@ -107,7 +107,9 @@ class CheckpointUnsupportedError : public CheckpointError {
 inline constexpr char kMagic[8] = {'A', 'V', 'M', 'E', 'M', 'C', 'K', 'P'};
 /// Current format version. Bump on any incompatible layout change; the CI
 /// checkpoint cache keys on it so stale artifacts regenerate.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: NETW gained the duplicated/injectedDrops counters and the FALT
+/// fault-injector section joined the format.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Everything in the fixed header after the magic.
 struct FileHeader {

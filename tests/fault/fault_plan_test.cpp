@@ -1,0 +1,287 @@
+// Campaign-file parser tests: the happy path for every section, and —
+// since plan files are user data — a hostile-input battery where every
+// malformed, out-of-range, or overlapping line must throw a
+// FaultPlanError naming its line, never produce a half-built plan.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.hpp"
+
+namespace avmem::fault {
+namespace {
+
+FaultPlan parse(const std::string& text) { return parseFaultPlanText(text); }
+
+void expectRejects(const std::string& text, const std::string& needle) {
+  try {
+    (void)parseFaultPlanText(text);
+    FAIL() << "expected FaultPlanError for:\n" << text;
+  } catch (const FaultPlanError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(FaultPlanParserTest, EmptyTextIsEmptyPlan) {
+  const FaultPlan p = parse("");
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.fingerprint(), 0u);
+  EXPECT_EQ(p.firstStageStartUs(), 0);
+  EXPECT_EQ(p.lastStageEndUs(), 0);
+}
+
+TEST(FaultPlanParserTest, CommentsAndBlanksAreIgnored) {
+  const FaultPlan p = parse(
+      "# a campaign\n"
+      "\n"
+      "   # indented comment\n"
+      "seed = 7   # trailing comment\n");
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.seed, 7u);
+}
+
+TEST(FaultPlanParserTest, FullCampaignParses) {
+  const FaultPlan p = parse(
+      "seed = 42\n"
+      "regions = 4\n"
+      "[loss]\n"
+      "from_h = 1.0\n"
+      "to_h = 2.0\n"
+      "drop = 0.25\n"
+      "duplicate = 0.05\n"
+      "delay = 0.1\n"
+      "delay_max_ms = 150\n"
+      "src_region = 1\n"
+      "dst_region = -1\n"
+      "[outage]\n"
+      "from_h = 3.0\n"
+      "to_h = 4.0\n"
+      "region = 2\n"
+      "fraction = 0.5\n"
+      "[flashcrowd]\n"
+      "from_h = 5.0\n"
+      "to_h = 6.0\n"
+      "fraction = 0.3\n"
+      "[attack]\n"
+      "from_h = 1.0\n"
+      "to_h = 6.5\n"
+      "period_s = 60\n"
+      "kind = legitimate\n");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_EQ(p.regions, 4u);
+  ASSERT_EQ(p.loss.size(), 1u);
+  EXPECT_EQ(p.loss[0].fromUs, 3'600'000'000);
+  EXPECT_EQ(p.loss[0].toUs, 7'200'000'000);
+  EXPECT_DOUBLE_EQ(p.loss[0].drop, 0.25);
+  EXPECT_DOUBLE_EQ(p.loss[0].duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(p.loss[0].delay, 0.1);
+  EXPECT_EQ(p.loss[0].delayMaxUs, 150'000);
+  EXPECT_EQ(p.loss[0].srcRegion, 1);
+  EXPECT_EQ(p.loss[0].dstRegion, kAnyRegion);
+  ASSERT_EQ(p.outages.size(), 1u);
+  EXPECT_EQ(p.outages[0].region, 2u);
+  EXPECT_DOUBLE_EQ(p.outages[0].fraction, 0.5);
+  ASSERT_EQ(p.flashCrowds.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.flashCrowds[0].fraction, 0.3);
+  ASSERT_EQ(p.attacks.size(), 1u);
+  EXPECT_EQ(p.attacks[0].periodUs, 60'000'000);
+  EXPECT_FALSE(p.attacks[0].flooding);
+  EXPECT_EQ(p.firstStageStartUs(), 3'600'000'000);
+  EXPECT_EQ(p.lastStageEndUs(),
+            static_cast<std::int64_t>(6.5 * 3600e6));
+}
+
+TEST(FaultPlanParserTest, OutageFractionDefaultsToWholeRegion) {
+  const FaultPlan p = parse(
+      "[outage]\nfrom_h = 0\nto_h = 1\nregion = 0\n");
+  ASSERT_EQ(p.outages.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.outages[0].fraction, 1.0);
+}
+
+TEST(FaultPlanParserTest, AttackKindDefaultsToFlooding) {
+  const FaultPlan p = parse(
+      "[attack]\nfrom_h = 0\nto_h = 1\nperiod_s = 30\n");
+  ASSERT_EQ(p.attacks.size(), 1u);
+  EXPECT_TRUE(p.attacks[0].flooding);
+}
+
+// --- hostile inputs -------------------------------------------------------
+
+TEST(FaultPlanParserTest, RejectsUnknownSection) {
+  expectRejects("[meteor]\nfrom_h = 0\nto_h = 1\n", "unknown section");
+}
+
+TEST(FaultPlanParserTest, RejectsUnknownGlobalKey) {
+  expectRejects("chaos = yes\n", "unknown global key");
+}
+
+TEST(FaultPlanParserTest, RejectsGlobalKeyAfterFirstSection) {
+  // seed/regions only make sense before any stage; afterwards they are
+  // just unknown stage keys.
+  expectRejects("[loss]\nfrom_h = 0\nto_h = 1\ndrop = 0.1\nseed = 9\n",
+                "unknown key");
+}
+
+TEST(FaultPlanParserTest, RejectsKeyFromAnotherSection) {
+  expectRejects("[outage]\nfrom_h = 0\nto_h = 1\nregion = 0\ndrop = 0.5\n",
+                "unknown key");
+}
+
+TEST(FaultPlanParserTest, RejectsMissingEquals) {
+  expectRejects("[loss]\nfrom_h 0\n", "expected key = value");
+}
+
+TEST(FaultPlanParserTest, RejectsMalformedSectionHeader) {
+  expectRejects("[loss\n", "malformed section header");
+  expectRejects("[]\n", "malformed section header");
+}
+
+TEST(FaultPlanParserTest, RejectsNonNumericValue) {
+  expectRejects("[loss]\nfrom_h = soon\nto_h = 1\ndrop = 0.1\n",
+                "not a number");
+}
+
+TEST(FaultPlanParserTest, RejectsDuplicateKey) {
+  expectRejects(
+      "[loss]\nfrom_h = 0\nfrom_h = 1\nto_h = 2\ndrop = 0.1\n",
+      "duplicate key");
+}
+
+TEST(FaultPlanParserTest, RejectsMissingWindow) {
+  expectRejects("[loss]\ndrop = 0.5\n", "needs both from_h and to_h");
+}
+
+TEST(FaultPlanParserTest, RejectsEmptyOrInvertedWindow) {
+  expectRejects("[loss]\nfrom_h = 2\nto_h = 2\ndrop = 0.5\n",
+                "to_h must be greater than from_h");
+  expectRejects("[loss]\nfrom_h = 3\nto_h = 2\ndrop = 0.5\n",
+                "to_h must be greater than from_h");
+}
+
+TEST(FaultPlanParserTest, RejectsNegativeStart) {
+  expectRejects("[loss]\nfrom_h = -1\nto_h = 2\ndrop = 0.5\n",
+                "from_h must be >= 0");
+}
+
+TEST(FaultPlanParserTest, RejectsRateOutOfRange) {
+  expectRejects("[loss]\nfrom_h = 0\nto_h = 1\ndrop = 1.5\n",
+                "rate must be in [0, 1]");
+  expectRejects("[loss]\nfrom_h = 0\nto_h = 1\ndrop = -0.1\n",
+                "rate must be in [0, 1]");
+}
+
+TEST(FaultPlanParserTest, RejectsDelayWithoutBound) {
+  expectRejects("[loss]\nfrom_h = 0\nto_h = 1\ndelay = 0.5\n",
+                "delay > 0 needs a positive delay_max_ms");
+}
+
+TEST(FaultPlanParserTest, RejectsLossStageThatInjectsNothing) {
+  expectRejects("[loss]\nfrom_h = 0\nto_h = 1\n", "injects nothing");
+}
+
+TEST(FaultPlanParserTest, RejectsRegionOutOfRange) {
+  // Default plan has 8 regions, so region 8 is one past the end.
+  expectRejects("[outage]\nfrom_h = 0\nto_h = 1\nregion = 8\n",
+                "region out of range");
+  expectRejects("[outage]\nfrom_h = 0\nto_h = 1\nregion = -1\n",
+                "region out of range");
+  expectRejects(
+      "[loss]\nfrom_h = 0\nto_h = 1\ndrop = 0.5\nsrc_region = 8\n",
+      "region out of range");
+}
+
+TEST(FaultPlanParserTest, RejectsBadRegionsGlobal) {
+  expectRejects("regions = 0\n", "regions must be in [1, 1024]");
+  expectRejects("regions = 4096\n", "regions must be in [1, 1024]");
+}
+
+TEST(FaultPlanParserTest, RejectsOutageMissingRegion) {
+  expectRejects("[outage]\nfrom_h = 0\nto_h = 1\n", "needs a region");
+}
+
+TEST(FaultPlanParserTest, RejectsFractionOutOfRange) {
+  expectRejects(
+      "[outage]\nfrom_h = 0\nto_h = 1\nregion = 0\nfraction = 0\n",
+      "fraction must be in (0, 1]");
+  expectRejects("[flashcrowd]\nfrom_h = 0\nto_h = 1\nfraction = 1.2\n",
+                "fraction must be in (0, 1]");
+}
+
+TEST(FaultPlanParserTest, RejectsAttackWithoutOrBadPeriod) {
+  expectRejects("[attack]\nfrom_h = 0\nto_h = 1\n", "needs a period_s");
+  expectRejects("[attack]\nfrom_h = 0\nto_h = 1\nperiod_s = 0\n",
+                "period_s must be positive");
+}
+
+TEST(FaultPlanParserTest, RejectsBadAttackKind) {
+  expectRejects(
+      "[attack]\nfrom_h = 0\nto_h = 1\nperiod_s = 30\nkind = ddos\n",
+      "kind must be 'flooding' or 'legitimate'");
+}
+
+TEST(FaultPlanParserTest, RejectsOverlappingSameRegionOutages) {
+  expectRejects(
+      "[outage]\nfrom_h = 0\nto_h = 2\nregion = 1\n"
+      "[outage]\nfrom_h = 1\nto_h = 3\nregion = 1\n",
+      "overlapping [outage] windows");
+}
+
+TEST(FaultPlanParserTest, AllowsOverlappingOutagesInDifferentRegions) {
+  const FaultPlan p = parse(
+      "[outage]\nfrom_h = 0\nto_h = 2\nregion = 1\n"
+      "[outage]\nfrom_h = 1\nto_h = 3\nregion = 2\n");
+  EXPECT_EQ(p.outages.size(), 2u);
+}
+
+TEST(FaultPlanParserTest, RejectsFlashCrowdOverlap) {
+  expectRejects(
+      "[flashcrowd]\nfrom_h = 0\nto_h = 2\nfraction = 0.5\n"
+      "[flashcrowd]\nfrom_h = 1\nto_h = 3\nfraction = 0.5\n",
+      "overlapping [flashcrowd] windows");
+  expectRejects(
+      "[outage]\nfrom_h = 0\nto_h = 2\nregion = 1\n"
+      "[flashcrowd]\nfrom_h = 1\nto_h = 3\nfraction = 0.5\n",
+      "overlaps an [outage] window");
+}
+
+TEST(FaultPlanParserTest, ErrorsNameTheOffendingLine) {
+  expectRejects("seed = 1\n\n# fine\nbogus = 2\n", "line 4");
+}
+
+TEST(FaultPlanParserTest, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)loadFaultPlan("/nonexistent/campaign.fault"),
+               FaultPlanError);
+}
+
+// --- fingerprint ----------------------------------------------------------
+
+TEST(FaultPlanFingerprintTest, StableAcrossReparses) {
+  const std::string text =
+      "seed = 9\n[loss]\nfrom_h = 1\nto_h = 2\ndrop = 0.3\n";
+  EXPECT_EQ(parse(text).fingerprint(), parse(text).fingerprint());
+  EXPECT_NE(parse(text).fingerprint(), 0u);
+}
+
+TEST(FaultPlanFingerprintTest, SensitiveToEveryStageKind) {
+  const FaultPlan base = parse(
+      "[loss]\nfrom_h = 1\nto_h = 2\ndrop = 0.3\n");
+  FaultPlan p = base;
+  p.loss[0].drop = 0.31;
+  EXPECT_NE(p.fingerprint(), base.fingerprint());
+  p = base;
+  p.seed = 1234;
+  EXPECT_NE(p.fingerprint(), base.fingerprint());
+  p = base;
+  p.outages.push_back({0, 1'000'000, 0, 1.0});
+  EXPECT_NE(p.fingerprint(), base.fingerprint());
+  p = base;
+  p.flashCrowds.push_back({0, 1'000'000, 0.5});
+  EXPECT_NE(p.fingerprint(), base.fingerprint());
+  p = base;
+  p.attacks.push_back({0, 1'000'000, 60'000'000, true});
+  EXPECT_NE(p.fingerprint(), base.fingerprint());
+}
+
+}  // namespace
+}  // namespace avmem::fault

@@ -1,0 +1,231 @@
+// OutageOverlayModel tests: outage and flash-crowd windows composed
+// over a deterministic churn trace. The load-bearing property is that
+// the O(1)-per-window onlineEpochsThrough() adjustment agrees with a
+// brute-force epoch walk for every host — that prefix count feeds every
+// availability estimate the protocols see.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "tests/core/test_world.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace avmem::fault {
+namespace {
+
+constexpr std::int64_t kHourUs = 3'600'000'000;
+// cyclicTrace epochs are 20 minutes: 3 epochs per hour.
+constexpr std::size_t kEpochsPerHour = 3;
+
+std::unique_ptr<trace::ChurnTrace> makeTrace(std::size_t hosts = 64,
+                                             std::size_t epochs = 120) {
+  std::vector<double> avs;
+  avs.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    avs.push_back(0.1 + 0.8 * static_cast<double>(i) /
+                            static_cast<double>(hosts - 1));
+  }
+  return std::make_unique<trace::ChurnTrace>(
+      core::testing::cyclicTrace(avs, epochs));
+}
+
+FaultPlan outagePlan(double fromH, double toH, std::uint32_t region,
+                     double fraction = 1.0) {
+  FaultPlan p;
+  p.regions = 4;
+  OutageStage s;
+  s.fromUs = static_cast<std::int64_t>(fromH * 3600e6);
+  s.toUs = static_cast<std::int64_t>(toH * 3600e6);
+  s.region = region;
+  s.fraction = fraction;
+  p.outages.push_back(s);
+  return p;
+}
+
+/// Brute-force reference for onlineEpochsThrough: count onlineInEpoch.
+std::uint64_t bruteCount(const trace::AvailabilityModel& m,
+                         trace::HostIndex h, std::size_t through) {
+  std::uint64_t c = 0;
+  for (std::size_t e = 0; e <= through; ++e) {
+    if (m.onlineInEpoch(h, e)) ++c;
+  }
+  return c;
+}
+
+TEST(OutageOverlayTest, OutageForcesRegionOfflineForWholeEpochs) {
+  const FaultPlan plan = outagePlan(1.0, 3.0, /*region=*/2);
+  auto inner = makeTrace();
+  const trace::ChurnTrace& ref = *inner;
+  OutageOverlayModel overlay(std::move(inner), plan);
+
+  // [1h, 3h) covers epochs 3..8 at 20-minute granularity.
+  const std::size_t fromE = 1 * kEpochsPerHour;
+  const std::size_t toE = 3 * kEpochsPerHour - 1;
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    const bool affected = hashRegionOf(plan.seed, plan.regions, h) == 2;
+    for (std::size_t e = 0; e < overlay.epochCount(); ++e) {
+      const bool inWindow = e >= fromE && e <= toE;
+      if (affected && inWindow) {
+        EXPECT_FALSE(overlay.onlineInEpoch(h, e))
+            << "host " << h << " epoch " << e;
+      } else {
+        EXPECT_EQ(overlay.onlineInEpoch(h, e), ref.onlineInEpoch(h, e))
+            << "host " << h << " epoch " << e;
+      }
+    }
+  }
+}
+
+TEST(OutageOverlayTest, FlashCrowdForcesMembersOnline) {
+  FaultPlan plan;
+  FlashCrowdStage s;
+  s.fromUs = 2 * kHourUs;  // epochs 6..11
+  s.toUs = 4 * kHourUs;
+  s.fraction = 1.0;
+  plan.flashCrowds.push_back(s);
+  auto inner = makeTrace();
+  const trace::ChurnTrace& ref = *inner;
+  OutageOverlayModel overlay(std::move(inner), plan);
+
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    for (std::size_t e = 6; e <= 11; ++e) {
+      EXPECT_TRUE(overlay.onlineInEpoch(h, e));
+    }
+    // Outside the window the inner trace shows through untouched.
+    EXPECT_EQ(overlay.onlineInEpoch(h, 5), ref.onlineInEpoch(h, 5));
+    EXPECT_EQ(overlay.onlineInEpoch(h, 12), ref.onlineInEpoch(h, 12));
+  }
+}
+
+TEST(OutageOverlayTest, PrefixCountMatchesBruteForce) {
+  // One outage and one flash crowd (disjoint epochs), partial fractions:
+  // the sharpest shape the O(1) adjustment has to get right.
+  FaultPlan plan;
+  plan.regions = 4;
+  OutageStage o;
+  o.fromUs = 1 * kHourUs;  // epochs 3..5
+  o.toUs = 2 * kHourUs;
+  o.region = 1;
+  o.fraction = 0.6;
+  plan.outages.push_back(o);
+  FlashCrowdStage f;
+  f.fromUs = 3 * kHourUs;  // epochs 9..11
+  f.toUs = 4 * kHourUs;
+  f.fraction = 0.4;
+  plan.flashCrowds.push_back(f);
+
+  auto inner = makeTrace(48, 60);
+  OutageOverlayModel overlay(std::move(inner), plan);
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    for (const std::size_t e :
+         {std::size_t{0}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+          std::size_t{5}, std::size_t{6}, std::size_t{8}, std::size_t{9},
+          std::size_t{11}, std::size_t{12}, std::size_t{30},
+          std::size_t{59}}) {
+      EXPECT_EQ(overlay.onlineEpochsThrough(h, e), bruteCount(overlay, h, e))
+          << "host " << h << " through epoch " << e;
+    }
+  }
+}
+
+TEST(OutageOverlayTest, PartialFractionIsDeterministicAndRoughlySized) {
+  const FaultPlan plan = outagePlan(1.0, 2.0, /*region=*/0, 0.5);
+  auto innerA = makeTrace(256, 30);
+  auto innerB = makeTrace(256, 30);
+  OutageOverlayModel a(std::move(innerA), plan);
+  OutageOverlayModel b(std::move(innerB), plan);
+
+  std::size_t regionSize = 0;
+  std::size_t forced = 0;
+  for (trace::HostIndex h = 0; h < a.hostCount(); ++h) {
+    // Same plan, same host -> same forcing decision in both instances.
+    EXPECT_EQ(a.onlineInEpoch(h, 4), b.onlineInEpoch(h, 4));
+    if (hashRegionOf(plan.seed, plan.regions, h) != 0) continue;
+    ++regionSize;
+    // A forced host is offline in epoch 4 regardless of the trace; an
+    // unforced one follows the trace. Detect forcing as "offline while
+    // the inner trace says online".
+    if (!a.onlineInEpoch(h, 4) && a.inner().onlineInEpoch(h, 4)) ++forced;
+  }
+  ASSERT_GT(regionSize, 10u);
+  // fraction = 0.5 of the region, of which only trace-online hosts are
+  // observable here; expect clearly more than none, fewer than all.
+  EXPECT_GT(forced, 0u);
+  EXPECT_LT(forced, regionSize);
+}
+
+TEST(OutageOverlayTest, FullAvailabilityDelegatesToInnerModel) {
+  // The long-term PDF describes the healthy population, not the
+  // campaign: an outage must not leak into fullAvailability().
+  const FaultPlan plan = outagePlan(0.0, 20.0, /*region=*/1);
+  auto inner = makeTrace();
+  const trace::ChurnTrace& ref = *inner;
+  OutageOverlayModel overlay(std::move(inner), plan);
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    EXPECT_DOUBLE_EQ(overlay.fullAvailability(h), ref.fullAvailability(h));
+  }
+  EXPECT_EQ(overlay.hostCount(), ref.hostCount());
+  EXPECT_EQ(overlay.epochCount(), ref.epochCount());
+  EXPECT_EQ(overlay.epochDuration().toMicros(),
+            ref.epochDuration().toMicros());
+}
+
+TEST(OutageOverlayTest, RejectsWindowsSharingAnEpochAfterQuantization) {
+  // [0.1h, 0.2h) and [0.25h, 0.4h) don't overlap in microseconds (the
+  // parser allows them) but both round onto epoch 0 of a 20-minute
+  // trace; the overlay's O(1) adjustment cannot host two forcing
+  // windows per epoch, so the constructor must refuse.
+  FaultPlan plan;
+  plan.regions = 4;
+  OutageStage o;
+  o.fromUs = static_cast<std::int64_t>(0.1 * 3600e6);
+  o.toUs = static_cast<std::int64_t>(0.2 * 3600e6);
+  o.region = 1;
+  plan.outages.push_back(o);
+  FlashCrowdStage f;
+  f.fromUs = static_cast<std::int64_t>(0.25 * 3600e6);
+  f.toUs = static_cast<std::int64_t>(0.4 * 3600e6);
+  f.fraction = 0.5;
+  plan.flashCrowds.push_back(f);
+  EXPECT_THROW(OutageOverlayModel(makeTrace(), plan), FaultPlanError);
+}
+
+TEST(OutageOverlayTest, DifferentRegionOutagesMayShareEpochs) {
+  FaultPlan plan;
+  plan.regions = 4;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    OutageStage o;
+    o.fromUs = 1 * kHourUs;
+    o.toUs = 2 * kHourUs;
+    o.region = r;
+    plan.outages.push_back(o);
+  }
+  auto inner = makeTrace();
+  OutageOverlayModel overlay(std::move(inner), plan);  // must not throw
+  // Hosts of both regions are down in the shared window.
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    if (hashRegionOf(plan.seed, plan.regions, h) < 2) {
+      EXPECT_FALSE(overlay.onlineInEpoch(h, 4));
+    }
+  }
+}
+
+TEST(OutageOverlayTest, WindowsPastTraceEndClampToLastEpoch) {
+  // A stage window beyond the trace's end must clamp, not index out of
+  // range: a 10-epoch trace with an outage at [100h, 101h).
+  const FaultPlan plan = outagePlan(100.0, 101.0, /*region=*/1);
+  auto inner = makeTrace(16, 10);
+  OutageOverlayModel overlay(std::move(inner), plan);
+  for (trace::HostIndex h = 0; h < overlay.hostCount(); ++h) {
+    (void)overlay.onlineEpochsThrough(h, 9);  // must not crash
+    if (hashRegionOf(plan.seed, plan.regions, h) == 1) {
+      EXPECT_FALSE(overlay.onlineInEpoch(h, 9));  // clamped onto epoch 9
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avmem::fault

@@ -1,37 +1,18 @@
 // Failure-injection tests: the system under hostile or degraded
 // conditions that the paper's model allows but does not evaluate.
+// Service-level hostility is scripted via the shared
+// FlakyAvailabilityService; wire- and churn-level hostility lives in
+// plan-driven form in tests/fault/.
 #include <gtest/gtest.h>
 
 #include "core/attack.hpp"
 #include "core/simulation.hpp"
+#include "tests/fault/flaky_availability.hpp"
 
 namespace avmem::core {
 namespace {
 
-/// An availability service that can be degraded mid-run.
-class FlakyAvailabilityService final : public avmon::AvailabilityService {
- public:
-  explicit FlakyAvailabilityService(avmon::AvailabilityService& inner)
-      : inner_(inner) {}
-
-  std::optional<double> query(net::NodeIndex querier,
-                              net::NodeIndex target) override {
-    if (outage_) return std::nullopt;
-    auto v = inner_.query(querier, target);
-    if (v && lieFactor_ != 0.0) {
-      *v = std::clamp(*v + lieFactor_, 0.0, 1.0);
-    }
-    return v;
-  }
-
-  void setOutage(bool outage) noexcept { outage_ = outage; }
-  void setLie(double delta) noexcept { lieFactor_ = delta; }
-
- private:
-  avmon::AvailabilityService& inner_;
-  bool outage_ = false;
-  double lieFactor_ = 0.0;
-};
+using fault::testing::FlakyAvailabilityService;
 
 TEST(FailureInjectionTest, DiscoveryStallsGracefullyDuringServiceOutage) {
   // If the monitoring service returns no answers, discovery must make no

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
-"""Assert two scale_sweep --json outputs are stat-identical.
+"""Assert two bench --json outputs are stat-identical.
 
 Usage: check_thread_invariance.py [--min-mean-degree X] A.json B.json
 
-Parallel plan dispatch — and a warm-state checkpoint restore — must not
-change any simulation-visible statistic; only wall-clock fields, the
-reported thread count, and pipeline diagnostics may differ between runs.
-CI runs the smoke sweep at threads=1 and threads=4 (and restored vs
-fresh) and gates on this script.
+Parallel plan dispatch — and a warm-state checkpoint restore, and an
+active fault campaign — must not change any simulation-visible
+statistic; only wall-clock fields, the reported thread count, and
+pipeline diagnostics may differ between runs. CI runs the smoke sweeps
+at threads=1 and threads=4 (and restored vs fresh, and chaos campaigns
+at two thread counts) and gates on this script.
 
-Every per-point key must be classified: INVARIANT_KEYS are compared
-exactly, IGNORED_KEYS are allowed to differ, and a key in neither set is
-a loud failure — a new scale_sweep column must be triaged here before it
-can ride through CI, otherwise a silently-added thread-variant (or
-restore-variant) column would erode the gate.
+The schema is selected by the run's top-level "bench" field
+(scale_sweep or chaos_sweep; both runs must agree). Every per-point key
+must be classified: invariant keys are compared exactly, ignored keys
+are allowed to differ, and a key in neither set is a loud failure — a
+new bench column must be triaged here before it can ride through CI,
+otherwise a silently-added thread-variant (or restore-variant) column
+would erode the gate.
 
 --min-mean-degree X additionally gates Discovery convergence: every point
 of both runs must report mean_degree >= X (the candidate-feed floor; a
@@ -43,6 +46,11 @@ INVARIANT_KEYS = (
     "mean_degree",
     "hs_degree",
     "feed_candidates",
+    "rejected",
+    "dropped_offline",
+    "ack_timeouts",
+    "duplicated",
+    "injected_drops",
     "anycasts",
     "delivered_fraction",
 )
@@ -71,9 +79,44 @@ IGNORED_KEYS = frozenset(
     }
 )
 
+# chaos_sweep samples: everything simulation-visible, nothing wall-clock.
+# A fault campaign must be bit-identical across thread counts and
+# dispatch modes — that is the whole point of the deterministic injector.
+CHAOS_INVARIANT_KEYS = (
+    "t_h",
+    "delivered",
+    "mean_degree",
+    "view_digest",
+    "injected_drops",
+    "duplicated",
+    "ack_timeouts",
+    "dropped_offline",
+    "attack_sweeps",
+)
+CHAOS_IGNORED_KEYS = frozenset()
 
-def check_points(a, b, min_mean_degree=None, out=sys.stderr):
+# Top-level chaos_sweep fields that must also agree between the two runs
+# (reconvergence time is a simulation-visible result, not a wall clock).
+CHAOS_TOP_LEVEL_KEYS = (
+    "scenario",
+    "seed",
+    "floor",
+    "last_stage_end_h",
+    "reconverged_h",
+)
+
+# "bench" field -> (invariant keys, ignored keys) for the per-point diff.
+SCHEMAS = {
+    "scale_sweep": (INVARIANT_KEYS, IGNORED_KEYS),
+    "chaos_sweep": (CHAOS_INVARIANT_KEYS, CHAOS_IGNORED_KEYS),
+}
+
+
+def check_points(a, b, min_mean_degree=None, out=sys.stderr,
+                 invariant_keys=INVARIANT_KEYS, ignored_keys=IGNORED_KEYS):
     """Compare two point lists; returns the number of failures."""
+    INVARIANT_KEYS = invariant_keys  # noqa: N806 — keep body readable
+    IGNORED_KEYS = ignored_keys  # noqa: N806
     if len(a) != len(b):
         print(f"point count differs: {len(a)} vs {len(b)}", file=out)
         return 1
@@ -127,10 +170,61 @@ def check_points(a, b, min_mean_degree=None, out=sys.stderr):
                 continue  # already reported as a missing invariant key
             if p["mean_degree"] < min_mean_degree:
                 print(
-                    f"point {i % len(a)} ({p['n']} nodes, "
-                    f"threads={p['threads']}): mean_degree "
+                    f"point {i % len(a)} ({p.get('n', '?')} nodes, "
+                    f"threads={p.get('threads', '?')}): mean_degree "
                     f"{p['mean_degree']} below the convergence floor "
                     f"{min_mean_degree}",
+                    file=out,
+                )
+                failures += 1
+    return failures
+
+
+def check_runs(run_a, run_b, min_mean_degree=None, out=sys.stderr):
+    """Full-run comparison: schema selection by "bench" plus the
+    per-point diff (and, for chaos_sweep, the top-level reconvergence
+    fields). Returns the number of failures."""
+    bench_a = run_a.get("bench", "scale_sweep")
+    bench_b = run_b.get("bench", "scale_sweep")
+    if bench_a != bench_b:
+        print(f"bench mismatch: {bench_a} vs {bench_b}", file=out)
+        return 1
+    if bench_a not in SCHEMAS:
+        print(
+            f"unknown bench '{bench_a}' — add a schema to "
+            "tools/check_thread_invariance.py",
+            file=out,
+        )
+        return 1
+    invariant, ignored = SCHEMAS[bench_a]
+    failures = check_points(
+        run_a["points"],
+        run_b["points"],
+        min_mean_degree=min_mean_degree,
+        out=out,
+        invariant_keys=invariant,
+        ignored_keys=ignored,
+    )
+    if bench_a == "chaos_sweep":
+        for key in CHAOS_TOP_LEVEL_KEYS:
+            missing = [
+                name
+                for name, run in (("A", run_a), ("B", run_b))
+                if key not in run
+            ]
+            if missing:
+                print(
+                    f"top-level key '{key}' missing from run(s) "
+                    f"{', '.join(missing)} — chaos_sweep JSON schema "
+                    "changed?",
+                    file=out,
+                )
+                failures += 1
+                continue
+            if run_a[key] != run_b[key]:
+                print(
+                    f"top-level '{key}' diverged: {run_a[key]} vs "
+                    f"{run_b[key]}",
                     file=out,
                 )
                 failures += 1
@@ -153,13 +247,21 @@ def main() -> int:
     for path in args:
         with open(path, encoding="utf-8") as f:
             runs.append(json.load(f))
-    a, b = (run["points"] for run in runs)
-    failures = check_points(a, b, min_mean_degree)
+    failures = check_runs(runs[0], runs[1], min_mean_degree)
     if failures:
         return 1
+
+    def threads_of(run):
+        # scale_sweep reports threads per point; chaos_sweep top-level.
+        points = run.get("points", [])
+        if points and "threads" in points[0]:
+            return points[0]["threads"]
+        return run.get("threads", "?")
+
+    n_points = len(runs[0]["points"])
     msg = (
-        f"{len(a)} point(s) stat-identical across threads="
-        f"{a[0]['threads']} and threads={b[0]['threads']}"
+        f"{n_points} point(s) stat-identical across threads="
+        f"{threads_of(runs[0])} and threads={threads_of(runs[1])}"
     )
     if min_mean_degree is not None:
         msg += f"; mean_degree >= {min_mean_degree} everywhere"

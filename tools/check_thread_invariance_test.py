@@ -20,9 +20,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from check_thread_invariance import (  # noqa: E402
+    CHAOS_IGNORED_KEYS,
+    CHAOS_INVARIANT_KEYS,
     IGNORED_KEYS,
     INVARIANT_KEYS,
     check_points,
+    check_runs,
 )
 
 
@@ -62,12 +65,50 @@ def point(**overrides):
         "mean_degree": 21.5,
         "hs_degree": 9.75,
         "feed_candidates": 5000,
+        "rejected": 12,
+        "dropped_offline": 340,
+        "ack_timeouts": 7,
+        "duplicated": 0,
+        "injected_drops": 0,
         "anycasts": 10,
         "delivered_fraction": 1.0,
         "batch_s": 0.01,
     }
     p.update(overrides)
     return p
+
+
+def chaos_point(**overrides):
+    """A fully-populated chaos_sweep sample with sane defaults."""
+    p = {
+        "t_h": 2.5,
+        "delivered": 0.95,
+        "mean_degree": 21.5,
+        "view_digest": 0xDEADBEEF,
+        "injected_drops": 4200,
+        "duplicated": 800,
+        "ack_timeouts": 95,
+        "dropped_offline": 1234,
+        "attack_sweeps": 12,
+    }
+    p.update(overrides)
+    return p
+
+
+def chaos_run(points, **overrides):
+    """A chaos_sweep top-level run record."""
+    r = {
+        "bench": "chaos_sweep",
+        "scenario": "chaos-outage",
+        "seed": 20070101,
+        "threads": 1,
+        "floor": 0.9,
+        "last_stage_end_h": 2.9,
+        "reconverged_h": 3.0,
+        "points": points,
+    }
+    r.update(overrides)
+    return r
 
 
 def run_check(a, b, **kwargs):
@@ -146,6 +187,68 @@ class SchemaCoverageTest(unittest.TestCase):
     def test_restore_s_is_ignored_key(self):
         self.assertIn("restore_s", IGNORED_KEYS)
         self.assertNotIn("restore_s", INVARIANT_KEYS)
+
+    def test_wire_failure_counters_are_invariant(self):
+        # The fault-injection counters must be thread-invariant: a
+        # campaign that drops different messages at different thread
+        # counts is a determinism bug, not noise.
+        for key in (
+            "rejected",
+            "dropped_offline",
+            "ack_timeouts",
+            "duplicated",
+            "injected_drops",
+        ):
+            self.assertIn(key, INVARIANT_KEYS)
+
+
+class ChaosSchemaTest(unittest.TestCase):
+    def run_runs(self, a, b, **kwargs):
+        out = io.StringIO()
+        failures = check_runs(a, b, out=out, **kwargs)
+        return failures, out.getvalue()
+
+    def test_every_chaos_fixture_key_is_classified(self):
+        for key in chaos_point():
+            self.assertTrue(
+                key in CHAOS_INVARIANT_KEYS or key in CHAOS_IGNORED_KEYS,
+                f"chaos fixture key '{key}' unclassified",
+            )
+
+    def test_identical_chaos_runs_pass(self):
+        a = chaos_run([chaos_point()])
+        b = chaos_run([chaos_point()], threads=8)  # threads may differ
+        failures, _ = self.run_runs(a, b)
+        self.assertEqual(failures, 0)
+
+    def test_diverged_chaos_sample_fails(self):
+        a = chaos_run([chaos_point()])
+        b = chaos_run([chaos_point(injected_drops=9999)])
+        failures, log = self.run_runs(a, b)
+        self.assertEqual(failures, 1)
+        self.assertIn("injected_drops", log)
+
+    def test_diverged_reconvergence_fails(self):
+        # Time-to-reconvergence is a simulation result: two thread
+        # counts disagreeing on it is a loud failure.
+        a = chaos_run([chaos_point()])
+        b = chaos_run([chaos_point()], reconverged_h=3.5)
+        failures, log = self.run_runs(a, b)
+        self.assertEqual(failures, 1)
+        self.assertIn("reconverged_h", log)
+
+    def test_bench_mismatch_fails(self):
+        a = chaos_run([chaos_point()])
+        b = {"bench": "scale_sweep", "points": [point()]}
+        failures, log = self.run_runs(a, b)
+        self.assertEqual(failures, 1)
+        self.assertIn("bench mismatch", log)
+
+    def test_unknown_bench_fails(self):
+        a = {"bench": "mystery_sweep", "points": []}
+        failures, log = self.run_runs(a, dict(a))
+        self.assertEqual(failures, 1)
+        self.assertIn("mystery_sweep", log)
 
 
 if __name__ == "__main__":
