@@ -45,11 +45,17 @@
 //                         this to gate the batched shuffle path)
 //   AVMEM_PIPELINE        1 = pipelined plan/commit dispatch (the scale
 //                         default), 0 = barrier mode (CI diffs the two)
+//   AVMEM_AVAIL_BACKEND   oracle | avmon — availability substrate
+//                         (default oracle; avmon swaps in the real
+//                         monitoring overlay, scale-avmon-* style, and
+//                         fills the avmon_mae / avmon_p99_err /
+//                         avmon_coverage / pings_* columns)
 //   AVMEM_CHECKPOINT      like --checkpoint-in (the flag wins)
 //   AVMEM_CHECKPOINT_OUT  like --checkpoint-out (the flag wins)
 //   AVMEM_FAST=1          smoke footprint: "2000" nodes, 30 min warm-up
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -151,6 +157,16 @@ struct PointResult {
   std::size_t anycasts = 0;
   double deliveredFraction = 0.0;
   double batchS = 0.0;
+  /// Availability substrate ("oracle" or "avmon") and — nonzero only for
+  /// avmon — estimate accuracy vs the ground-truth oracle over a sampled
+  /// querier/target set, plus the overlay's monitoring-traffic bill.
+  std::string availBackend;
+  double avmonMae = 0.0;       ///< mean |estimate - oracle truth|
+  double avmonP99Err = 0.0;    ///< 99th-percentile absolute error
+  double avmonCoverage = 0.0;  ///< sampled queries that got an answer
+  std::uint64_t pingsSent = 0;
+  std::uint64_t pingsDelivered = 0;
+  std::uint64_t pingBytes = 0;
 };
 
 void writeJson(const std::string& path, const std::vector<PointResult>& points,
@@ -200,7 +216,14 @@ void writeJson(const std::string& path, const std::vector<PointResult>& points,
         << ", \"injected_drops\": " << p.wireInjectedDrops
         << ", \"anycasts\": " << p.anycasts
         << ", \"delivered_fraction\": " << p.deliveredFraction
-        << ", \"batch_s\": " << p.batchS << "}"
+        << ", \"batch_s\": " << p.batchS
+        << ", \"avail_backend\": \"" << p.availBackend << "\""
+        << ", \"avmon_mae\": " << p.avmonMae
+        << ", \"avmon_p99_err\": " << p.avmonP99Err
+        << ", \"avmon_coverage\": " << p.avmonCoverage
+        << ", \"pings_sent\": " << p.pingsSent
+        << ", \"pings_delivered\": " << p.pingsDelivered
+        << ", \"ping_bytes\": " << p.pingBytes << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -254,6 +277,20 @@ int main(int argc, char** argv) {
   }
   const auto backend = benchfig::traceBackendFromEnv("scale_sweep");
 
+  // Availability substrate: the oracle (scale default) or the real AVMON
+  // overlay (scale-avmon-* style). Unrecognized values fail loudly.
+  bool useAvmon = false;
+  if (const char* ab = std::getenv("AVMEM_AVAIL_BACKEND");
+      ab != nullptr && *ab != '\0') {
+    if (std::strcmp(ab, "avmon") == 0) {
+      useAvmon = true;
+    } else if (std::strcmp(ab, "oracle") != 0) {
+      std::cerr << "scale_sweep: unknown AVMEM_AVAIL_BACKEND='" << ab
+                << "' (want oracle or avmon)\n";
+      return 2;
+    }
+  }
+
   std::cout << "# scale_sweep: maintenance + anycast throughput vs N\n";
   std::cout << "# scale mode: oracle availability, kFast64 pair hash, "
                "sharded maintenance, parallel plan dispatch, "
@@ -266,7 +303,9 @@ int main(int argc, char** argv) {
                "plan_slot_p99_ms maint_timers "
                "completed_shuffles view_digest mean_degree hs_degree "
                "feed_candidates rejected dropped_offline ack_timeouts "
-               "duplicated injected_drops anycasts delivered batch_s\n";
+               "duplicated injected_drops anycasts delivered batch_s "
+               "avail_backend avmon_mae avmon_p99_err avmon_coverage "
+               "pings_sent pings_delivered ping_bytes\n";
 
   std::optional<std::int64_t> shufflePeriodS;
   if (const char* sp = std::getenv("AVMEM_SHUFFLE_PERIOD_S"); sp != nullptr) {
@@ -289,6 +328,16 @@ int main(int argc, char** argv) {
   std::vector<PointResult> points;
   for (const std::uint32_t n : sizes) {
     auto scenario = core::makeScaleScenario(n, seed);
+    if (useAvmon) {
+      // Mirror the scale-avmon-* registry entries: the monitor relation
+      // hashes through kFast64 on a stream independent of the protocol
+      // hash (… + 1) by construction.
+      scenario.config.backend = core::AvailabilityBackend::kAvmon;
+      scenario.config.avmon.hashAlgorithm =
+          hashing::PairHashAlgorithm::kFast64;
+      scenario.config.avmon.hashSeed =
+          scenario.config.seed * 0x9E3779B97F4A7C15ull + 2;
+    }
     if (fast) scenario.warmup = sim::SimDuration::minutes(30);
     if (backend) scenario.config.traceBackend = *backend;
     if (shufflePeriodS) {
@@ -394,6 +443,40 @@ int main(int argc, char** argv) {
     degree /= static_cast<double>(sample);
     hsDegree /= static_cast<double>(sample);
 
+    // AVMON accuracy vs the ground-truth oracle, over the same sampled
+    // prefix: each sampled target is queried by its neighbour (a live
+    // querier-dependent path, not a private backdoor) and compared to the
+    // trace's fraction-uptime truth at the current instant. Also the
+    // moment the lazy monitor cells materialize, so the ping columns
+    // below reflect catch-up-free billing from here on.
+    double avmonMae = 0.0;
+    double avmonP99 = 0.0;
+    double avmonCoverage = 0.0;
+    if (useAvmon) {
+      std::vector<double> errs;
+      errs.reserve(sample);
+      for (std::size_t i = 0; i < sample; ++i) {
+        const auto target = static_cast<net::NodeIndex>(i);
+        const auto querier = static_cast<net::NodeIndex>((i + 1) % n);
+        const auto est =
+            system.availabilityService().query(querier, target);
+        if (!est) continue;
+        const double truth =
+            system.trace().availabilityAt(target, system.simulator().now());
+        errs.push_back(std::abs(*est - truth));
+      }
+      avmonCoverage =
+          static_cast<double>(errs.size()) / static_cast<double>(sample);
+      if (!errs.empty()) {
+        std::sort(errs.begin(), errs.end());
+        double sum = 0.0;
+        for (const double e : errs) sum += e;
+        avmonMae = sum / static_cast<double>(errs.size());
+        avmonP99 = errs[static_cast<std::size_t>(
+            0.99 * static_cast<double>(errs.size() - 1))];
+      }
+    }
+
     // The proof that maintenance pressure is O(shards): periodic timers
     // the engine keeps in the queue, independent of N.
     const std::size_t maintTimers =
@@ -459,6 +542,16 @@ int main(int argc, char** argv) {
     p.anycasts = batch.count();
     p.deliveredFraction = batch.deliveredFraction();
     p.batchS = batchS;
+    p.availBackend = useAvmon ? "avmon" : "oracle";
+    p.avmonMae = avmonMae;
+    p.avmonP99Err = avmonP99;
+    p.avmonCoverage = avmonCoverage;
+    if (const avmon::AvmonSystem* av = system.avmonSystem()) {
+      const avmon::AvmonSystem::PingStats& ps = av->pingStats();
+      p.pingsSent = ps.sent;
+      p.pingsDelivered = ps.delivered;
+      p.pingBytes = ps.bytes;
+    }
     points.push_back(p);
 
     std::cout << p.n << " " << p.backend << " " << p.threads << " "
@@ -474,7 +567,10 @@ int main(int argc, char** argv) {
               << p.wireDroppedOffline << " " << p.wireAckTimeouts << " "
               << p.wireDuplicated << " " << p.wireInjectedDrops << " "
               << p.anycasts << " "
-              << p.deliveredFraction << " " << p.batchS << "\n";
+              << p.deliveredFraction << " " << p.batchS << " "
+              << p.availBackend << " " << p.avmonMae << " " << p.avmonP99Err
+              << " " << p.avmonCoverage << " " << p.pingsSent << " "
+              << p.pingsDelivered << " " << p.pingBytes << "\n";
   }
   if (jsonPath) writeJson(*jsonPath, points, seed);
   return 0;

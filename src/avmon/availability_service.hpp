@@ -44,10 +44,12 @@ class AvailabilityService {
   /// True when query() may be called concurrently from the parallel
   /// maintenance plan phase: answers must be a pure function of
   /// (querier, target, sim time) with no unsynchronized mutable state on
-  /// the query path. Backends with per-query caches, sampling state, or
-  /// message traffic (AVMON, aged, centralized) keep the default false,
-  /// and the engine then plans serially — correctness never depends on
-  /// this flag, only parallelism does.
+  /// the query path. Backends that mutate per-query state on the query
+  /// path (aged EWMA cells) keep the default false, and the engine then
+  /// plans serially — correctness never depends on this flag, only
+  /// parallelism does. AVMON qualifies as of PR 9: its counters are
+  /// frozen between serial epoch-fold events and its monitor cells
+  /// publish through atomics.
   [[nodiscard]] virtual bool concurrentReadSafe() const noexcept {
     return false;
   }

@@ -161,6 +161,24 @@ Scenario buildScale(std::uint32_t hosts, const ScenarioTuning& tuning) {
   return s;
 }
 
+/// Scale mode with the real AVMON overlay instead of the oracle: the
+/// monitoring substrate itself is the thing under test, at populations the
+/// legacy eager O(N^2) construction could never reach. kFast64 backs both
+/// the AVMEM predicate and the monitor relation (distinct seeds); queries
+/// materialize monitor cells lazily, so a run's hash cost is proportional
+/// to the targets actually queried, not N^2 — at 1M hosts a full-coverage
+/// sweep is still O(N^2) hash work, so the 1m entry is deliberately
+/// expensive and the sweep samples coverage instead.
+Scenario buildScaleAvmon(std::uint32_t hosts, const ScenarioTuning& tuning) {
+  Scenario s = buildScale(hosts, tuning);
+  s.name = "scale-avmon-" + s.name.substr(std::string_view("scale-").size());
+  s.config.backend = AvailabilityBackend::kAvmon;
+  s.config.avmon.hashAlgorithm = hashing::PairHashAlgorithm::kFast64;
+  // Independent of the protocol hash stream (…+ 1) by construction.
+  s.config.avmon.hashSeed = s.config.seed * 0x9E3779B97F4A7C15ull + 2;
+  return s;
+}
+
 /// The three built-in hostile campaigns, in escalating order.
 enum class ChaosLevel { kLoss, kOutage, kStorm };
 
@@ -315,6 +333,16 @@ ScenarioRegistry::ScenarioRegistry() {
   add({"scale-1m",
        "scale mode at 1M nodes: oracle + kFast64 + shards + Markov churn",
        [](const ScenarioTuning& t) { return buildScale(1'000'000, t); }});
+  add({"scale-avmon-100k",
+       "scale mode at 100k nodes with the real AVMON overlay (lazy monitor "
+       "cells, epoch-fold estimates, wire-billed pings)",
+       [](const ScenarioTuning& t) { return buildScaleAvmon(100'000, t); }});
+  add({"scale-avmon-1m",
+       "scale mode at 1M nodes with the real AVMON overlay (expensive: "
+       "full query coverage implies O(N^2) monitor-hash work)",
+       [](const ScenarioTuning& t) {
+         return buildScaleAvmon(1'000'000, t);
+       }});
   add({"chaos-loss",
        "scale-100k under a 30% loss / 5% duplication / delay-jitter window",
        [](const ScenarioTuning& t) {

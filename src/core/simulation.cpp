@@ -242,13 +242,24 @@ void AvmemSimulation::buildSystem(const SimulationConfig& config) {
     pool_ = std::make_unique<sim::WorkerPool>(threads);
   }
 
+  // The AVMON overlay shares the pool (its epoch-fold plan phase fans out
+  // across it) and bills ping traffic through the network's stats/fault
+  // seam.
+  if (avmonSystem_ != nullptr) {
+    avmonSystem_->setPool(pool_.get());
+    avmonSystem_->attachWire(network_.get());
+  }
+
   // Pipelined dispatch: speculating slot k+1's plans while slot k commits
   // requires a witness that the availability answers the speculation read
   // are the ones a barrier plan would have read. The oracle answers are a
   // pure function of the trace epoch, so epoch equality between the
   // launch instant and the target slot's fire time is that witness; the
-  // other backends mutate per-query state (noisy staleness caches, AVMON
-  // monitor overlays), so they stay in barrier mode.
+  // other backends stay in barrier mode — noisy answers flip at staleness
+  // buckets the witness does not track, and AVMON advances its frozen
+  // counters at epoch-fold events that would land between the speculation
+  // and its commit (and its fold shares the worker pool, which allows
+  // only one active batch).
   sim::PipelineOptions pipeline;
   pipeline.enabled = config.pipelinedDispatch &&
                      config.backend == AvailabilityBackend::kOracle;
@@ -363,6 +374,10 @@ void AvmemSimulation::warmup(sim::SimDuration duration) {
   } else {
     if (!started_) {
       started_ = true;
+      // Armed first: AVMON's epoch-boundary fold must order ahead of any
+      // same-instant maintenance chain armed at t0, so queries at a
+      // boundary observe the freshly folded counters.
+      if (avmonSystem_ != nullptr) avmonSystem_->start();
       shuffle_->start();
       engine_->start();
       if (feed_ != nullptr) {

@@ -138,7 +138,7 @@ struct SimulationConfig {
   /// dispatch; see docs/ARCHITECTURE.md "Parallel dispatch"). 1 = fully
   /// serial — the paper-fidelity default; 0 = auto
   /// (hardware_concurrency). Counts above 1 require concurrency-safe
-  /// read paths — an oracle/noisy availability service and the
+  /// read paths — an oracle/noisy/AVMON availability service and the
   /// cache-bypassing kFast64 pair hash — and are clamped to 1 otherwise
   /// (results are identical either way; only wall-clock changes).
   /// Scenario builders honor the AVMEM_THREADS environment override.
@@ -261,8 +261,8 @@ class AvmemSimulation {
   /// legs, feed directory, timer wheels, RNG cursors, sim clock) to a
   /// versioned, CRC-protected binary stream. Throws
   /// snapshot::CheckpointUnsupportedError if the world holds state the
-  /// format cannot capture (e.g. an in-flight anycast, or an
-  /// avmon/aged/central backend).
+  /// format cannot capture (e.g. an in-flight anycast, or an aged/central
+  /// backend — the AVMON overlay snapshots via its AVMN section).
   void saveCheckpoint(const std::string& path) const;
   void saveCheckpoint(std::ostream& out) const;
 
@@ -298,6 +298,11 @@ class AvmemSimulation {
   }
   [[nodiscard]] avmon::AvailabilityService& availabilityService() noexcept {
     return *service_;
+  }
+  /// The AVMON overlay behind the service when backend == kAvmon, else
+  /// null (bench/scale_sweep reads its ping accounting).
+  [[nodiscard]] const avmon::AvmonSystem* avmonSystem() const noexcept {
+    return avmonSystem_.get();
   }
   [[nodiscard]] const avmon::ShuffleService& shuffleService() const noexcept {
     return *shuffle_;

@@ -51,8 +51,9 @@ enum class WireKind : std::uint8_t {
   kShuffleRequest = 3,
   kShuffleReply = 4,
   kShuffleAck = 5,
+  kPing = 6,         ///< AVMON monitor ping (avmon/avmon_monitors.hpp)
 };
-inline constexpr std::size_t kWireKindCount = 6;
+inline constexpr std::size_t kWireKindCount = 7;
 
 namespace detail {
 inline constexpr std::uint64_t kRegionSalt = 0x5E610ull;

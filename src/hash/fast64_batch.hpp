@@ -103,4 +103,82 @@ class Fast64PairBatch {
   std::uint64_t state_;
 };
 
+/// H(·, y) for a fixed seed and *right* identifier — the transpose of
+/// Fast64PairBatch. AVMON materializes the monitor set of one target by
+/// scanning every candidate monitor m and testing H(m, target), so here
+/// the left operand is the one that varies. Only the seed round and the
+/// target-side tail fold can be precomputed (the varying absorb sits
+/// between them in the mix chain), leaving four mixes per candidate — still
+/// a straight-line gathered map the compiler can vectorize.
+///
+/// Bit-exactness contract: for any seed and NodeIds x, y,
+///   Fast64TargetBatch(seed, fast64Tail6(y)).raw(fast64Tail6(x))
+///     == fast64Pair(seed, x.bytes(), y.bytes())
+/// — verified in tests/hash/fast64_batch_test.cpp.
+class Fast64TargetBatch {
+ public:
+  /// `tailY` = fast64Tail6 of the fixed right identifier (the target).
+  constexpr Fast64TargetBatch(std::uint64_t seed, std::uint64_t tailY) noexcept
+      : seeded_(fast64Mix(seed ^ 0x9E3779B97F4A7C15ull)),
+        tailYLen_(tailY ^ kFast64Len6) {}
+
+  /// Raw 64-bit H(x, y) — bit-identical to fast64Pair on the wire bytes.
+  [[nodiscard]] constexpr std::uint64_t raw(std::uint64_t tailX) const
+      noexcept {
+    return fast64Mix(
+        fast64Mix(fast64Mix(fast64Mix(seeded_ ^ tailX ^ kFast64Len6) +
+                            0xD1B54A32D192ED03ull) ^
+                  tailYLen_));
+  }
+
+  /// Normalized H(x, y) in [0, 1) — what PairHasher returns for kFast64.
+  [[nodiscard]] constexpr double one(std::uint64_t tailX) const noexcept {
+    return normalizeU64(raw(tailX));
+  }
+
+  /// out[i] = normalized H(x_i, y) for a gathered tail array, same lane
+  /// structure as Fast64PairBatch::hashMany. Requires
+  /// out.size() >= tailsX.size().
+  void hashMany(std::span<const std::uint64_t> tailsX,
+                std::span<double> out) const noexcept {
+    const std::size_t n = tailsX.size();
+    std::size_t i = 0;
+#if defined(AVMEM_SIMD) && (defined(__GNUC__) || defined(__clang__))
+    using U64x4 __attribute__((vector_size(32))) = std::uint64_t;
+    const std::uint64_t preScalar = seeded_ ^ kFast64Len6;
+    const U64x4 pre = {preScalar, preScalar, preScalar, preScalar};
+    const U64x4 sep = {0xD1B54A32D192ED03ull, 0xD1B54A32D192ED03ull,
+                       0xD1B54A32D192ED03ull, 0xD1B54A32D192ED03ull};
+    const U64x4 post = {tailYLen_, tailYLen_, tailYLen_, tailYLen_};
+    const auto mix4 = [](U64x4 x) noexcept {
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      x *= 0x94D049BB133111EBull;
+      x ^= x >> 31;
+      return x;
+    };
+    for (; i + 4 <= n; i += 4) {
+      U64x4 x = {tailsX[i], tailsX[i + 1], tailsX[i + 2], tailsX[i + 3]};
+      x = mix4(mix4(mix4(mix4(pre ^ x) + sep) ^ post));
+      out[i] = normalizeU64(x[0]);
+      out[i + 1] = normalizeU64(x[1]);
+      out[i + 2] = normalizeU64(x[2]);
+      out[i + 3] = normalizeU64(x[3]);
+    }
+#else
+    for (; i + 8 <= n; i += 8) {
+      for (std::size_t k = 0; k < 8; ++k) {  // independent lanes
+        out[i + k] = one(tailsX[i + k]);
+      }
+    }
+#endif
+    for (; i < n; ++i) out[i] = one(tailsX[i]);
+  }
+
+ private:
+  std::uint64_t seeded_;
+  std::uint64_t tailYLen_;
+};
+
 }  // namespace avmem::hashing

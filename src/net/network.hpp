@@ -31,6 +31,10 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
+namespace avmem::avmon {
+class AvmonSystem;  // billed-ping seam (avmon/avmon_monitors.hpp)
+}
+
 namespace avmem::net {
 
 /// Dense node address within one simulation.
@@ -204,6 +208,9 @@ class Network {
   /// network's latency model, online oracle, and stats so both paths
   /// account identically.
   friend class ShuffleChannel;
+  /// AVMON's epoch-batched ping lane bills into the same stats and
+  /// consults the same fault injector (serial commit context only).
+  friend class ::avmem::avmon::AvmonSystem;
 
   void scheduleDelivery(NodeIndex dst, DeliveryFn fn, sim::SimDuration lat) {
     sim_.schedule(lat, [this, dst, fn = std::move(fn)] {

@@ -35,6 +35,7 @@ constexpr std::uint32_t kSecNetwork = fourcc('N', 'E', 'T', 'W');
 constexpr std::uint32_t kSecRng = fourcc('S', 'R', 'N', 'G');
 constexpr std::uint32_t kSecMarkov = fourcc('M', 'R', 'K', 'V');
 constexpr std::uint32_t kSecFault = fourcc('F', 'A', 'L', 'T');
+constexpr std::uint32_t kSecAvmon = fourcc('A', 'V', 'M', 'N');
 
 // SimTime arrays are serialized as raw memory; keep that honest.
 static_assert(std::is_trivially_copyable_v<sim::SimTime> &&
@@ -259,7 +260,8 @@ std::vector<SlotRecord> readWheel(Cursor& c) {
 void verifyEventAccounting(const sim::Simulator& simulator,
                            const core::MembershipEngine& engine,
                            const avmon::ShuffleService& shuffle,
-                           bool hasFeed, std::size_t attackTimers) {
+                           bool hasFeed, std::size_t attackTimers,
+                           bool avmonTask) {
   std::size_t accounted = engine.discoveryScheduler().activeShardCount() +
                           engine.refreshScheduler().activeShardCount() +
                           shuffle.scheduler().activeShardCount();
@@ -269,6 +271,7 @@ void verifyEventAccounting(const sim::Simulator& simulator,
   }
   if (hasFeed) ++accounted;  // the periodic seal task
   accounted += attackTimers;  // running attacker-campaign timers (FALT)
+  if (avmonTask) ++accounted;  // the AVMON epoch-fold timer (AVMN)
   const std::size_t live = simulator.liveEventCount();
   if (live != accounted) {
     throw CheckpointUnsupportedError(
@@ -372,6 +375,9 @@ std::uint64_t configFingerprint(const SimulationConfig& config) {
   m.add(config.noisyStaleness);
   m.add(config.agedAlpha);
   m.add(config.centralSnapshotPeriod);
+  m.add(config.avmon.expectedMonitorsPerTarget);
+  m.add(static_cast<std::uint64_t>(config.avmon.hashAlgorithm));
+  m.add(config.avmon.hashSeed);
   m.add(static_cast<std::uint64_t>(config.traceBackend));
   m.add(static_cast<std::uint64_t>(config.predicate));
   m.add(config.randomOverlayP);
@@ -406,19 +412,22 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
     throw CheckpointUnsupportedError(
         "checkpoint: system not started (nothing warm to save)");
   }
-  if (sim.config_.backend != core::AvailabilityBackend::kOracle &&
-      sim.config_.backend != core::AvailabilityBackend::kNoisy) {
+  if (sim.config_.backend == core::AvailabilityBackend::kAged ||
+      sim.config_.backend == core::AvailabilityBackend::kCentral) {
     throw CheckpointUnsupportedError(
-        "checkpoint: only the oracle and noisy availability backends are "
-        "stateless enough to checkpoint (avmon/aged/central hold monitor "
-        "state the format does not capture)");
+        "checkpoint: the aged and central availability backends hold "
+        "per-query estimator state the format does not capture (the avmon "
+        "overlay checkpoints via its AVMN section as of v3)");
   }
   std::size_t runningAttackTimers = 0;
   for (const auto& task : sim.attackTasks_) {
     if (task->running()) ++runningAttackTimers;
   }
+  const bool avmonTaskRunning = sim.avmonSystem_ != nullptr &&
+                                sim.avmonSystem_->epochTask().running();
   verifyEventAccounting(*sim.sim_, *sim.engine_, *sim.shuffle_,
-                        sim.feed_ != nullptr, runningAttackTimers);
+                        sim.feed_ != nullptr, runningAttackTimers,
+                        avmonTaskRunning);
 
   // Gather every saved event's (fire time, raw queue seq) up front, then
   // normalize the seqs to dense ranks so the file is canonical (see
@@ -444,6 +453,18 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
     fs = sim.feed_->saveState();
     sealSeq = liveSeqOf(*sim.sim_, sim.feed_->sealTask().pendingHandle(),
                         "feed seal");
+  }
+
+  avmon::AvmonSystem::SavedState avState;
+  std::int64_t avFireAtUs = 0;
+  std::uint64_t avSeq = 0;
+  if (sim.avmonSystem_ != nullptr) {
+    avState = sim.avmonSystem_->saveState();
+    if (avmonTaskRunning) {
+      const sim::PeriodicTask& task = sim.avmonSystem_->epochTask();
+      avFireAtUs = task.nextFireAt().toMicros();
+      avSeq = liveSeqOf(*sim.sim_, task.pendingHandle(), "avmon epoch fold");
+    }
   }
 
   fault::FaultInjector::SavedState faultState;
@@ -485,6 +506,10 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
       if (rec.running == 0) continue;
       seqs.push_back(&rec.seq);
       ats.push_back(rec.fireAtUs);
+    }
+    if (avmonTaskRunning) {
+      seqs.push_back(&avSeq);
+      ats.push_back(avFireAtUs);
     }
     rankSavedEvents(std::move(seqs), ats);
   }
@@ -615,6 +640,28 @@ void CheckpointAccess::save(const AvmemSimulation& sim, std::ostream& out) {
     writer.writeSection(kSecFault, sec);
   }
 
+  // AVMN: the avmon overlay — fold cursor, ping accounting, epoch-task
+  // timer, and the materialized counter cells (monitor lists are a pure
+  // hash, rebuilt and cross-checked on restore).
+  if (sim.avmonSystem_ != nullptr) {
+    sec.clear();
+    sec.u64(avState.advancedEpochs);
+    sec.u64(avState.pings.sent);
+    sec.u64(avState.pings.delivered);
+    sec.u64(avState.pings.lostToFaults);
+    sec.u64(avState.pings.bytes);
+    sec.u8(avmonTaskRunning ? 1 : 0);
+    sec.i64(avFireAtUs);
+    sec.u64(avSeq);
+    sec.u64(avState.cells.size());
+    for (const avmon::AvmonSystem::SavedState::Cell& cell : avState.cells) {
+      sec.u32(cell.target);
+      sec.raw<std::uint32_t>(cell.samples);
+      sec.raw<std::uint32_t>(cell.up);
+    }
+    writer.writeSection(kSecAvmon, sec);
+  }
+
   // SRNG: the facade RNG (pickInitiator draws) — restoring it keeps
   // post-restore anycast batches identical to a straight-through run.
   sec.clear();
@@ -683,6 +730,11 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
   fault::FaultInjector::SavedState faultState;
   std::vector<AttackRecord> attackRecs;
   bool haveFault = false;
+  avmon::AvmonSystem::SavedState avState;
+  std::uint8_t avRunning = 0;
+  std::int64_t avFireAtUs = 0;
+  std::uint64_t avSeq = 0;
+  bool haveAvmon = false;
 
   std::uint32_t id = 0;
   std::vector<std::uint8_t> payload;
@@ -824,6 +876,34 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
         haveFault = true;
         break;
       }
+      case kSecAvmon: {
+        if (sim.avmonSystem_ == nullptr) {
+          throw CheckpointFormatError(
+              "checkpoint: AVMN section present but the avmon backend is "
+              "not active");
+        }
+        avState.advancedEpochs = c.u64();
+        avState.pings.sent = c.u64();
+        avState.pings.delivered = c.u64();
+        avState.pings.lostToFaults = c.u64();
+        avState.pings.bytes = c.u64();
+        avRunning = c.u8();
+        avFireAtUs = c.i64();
+        avSeq = c.u64();
+        const std::uint64_t count = c.u64();
+        if (count > n) {
+          throw CheckpointFormatError(
+              "checkpoint avmon: cell count exceeds population");
+        }
+        avState.cells.resize(static_cast<std::size_t>(count));
+        for (auto& cell : avState.cells) {
+          cell.target = c.u32();
+          cell.samples = c.raw<std::uint32_t>();
+          cell.up = c.raw<std::uint32_t>();
+        }
+        haveAvmon = true;
+        break;
+      }
       case kSecRng: {
         facadeRng = readRngState(c);
         haveRng = true;
@@ -859,6 +939,11 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
     throw CheckpointFormatError(
         "checkpoint fault: attack stage count mismatch");
   }
+  if ((sim.avmonSystem_ != nullptr) != haveAvmon) {
+    throw CheckpointFormatError(
+        "checkpoint: avmon backend active but no AVMN section saved (or "
+        "vice versa)");
+  }
 
   // --- install state (no events scheduled yet) ---
 
@@ -879,6 +964,7 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
   sim.network_->restoreState(netState);
   sim.rng_ = sim::Rng::fromState(facadeRng);
   if (sim.fault_ != nullptr) sim.fault_->restoreState(faultState);
+  if (sim.avmonSystem_ != nullptr) sim.avmonSystem_->restoreState(avState);
   if (auto* markov = dynamic_cast<trace::MarkovChurnModel*>(
           unwrapOverlay(sim.trace_.get()));
       markov != nullptr && haveMarkov) {
@@ -944,6 +1030,23 @@ void CheckpointAccess::restore(AvmemSimulation& sim, std::istream& in) {
                    sim.config_.faultPlan.attacks[i].periodUs),
                [simPtr = &sim, i] { simPtr->fireAttackStage(i); });
          }});
+  }
+
+  if (avRunning != 0) {
+    arms.push_back({avFireAtUs, avSeq, [&sim, at = avFireAtUs] {
+                      // start() recomputes the next boundary from the
+                      // restored fold cursor; it must land exactly where
+                      // the saved timer was armed.
+                      sim.avmonSystem_->start();
+                      const sim::PeriodicTask& task =
+                          sim.avmonSystem_->epochTask();
+                      if (!task.running() ||
+                          task.nextFireAt().toMicros() != at) {
+                        throw CheckpointFormatError(
+                            "checkpoint avmon: epoch-task re-arm landed at "
+                            "a different instant than the saved timer");
+                      }
+                    }});
   }
 
   std::sort(arms.begin(), arms.end(),

@@ -81,7 +81,7 @@ class CheckpointConfigError : public CheckpointError {
 };
 
 /// The live system holds state the format cannot capture (an in-flight
-/// anycast, an avmon/aged/central backend, an already-started restore
+/// anycast, an aged/central backend, an already-started restore
 /// target). Saving anyway would produce a silently partial snapshot.
 class CheckpointUnsupportedError : public CheckpointError {
  public:
@@ -109,7 +109,10 @@ inline constexpr char kMagic[8] = {'A', 'V', 'M', 'E', 'M', 'C', 'K', 'P'};
 /// checkpoint cache keys on it so stale artifacts regenerate.
 /// v2: NETW gained the duplicated/injectedDrops counters and the FALT
 /// fault-injector section joined the format.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: the AVMN avmon-overlay section joined the format, FALT's wireSeq
+/// array grew a kPing lane, and the config fingerprint absorbed the
+/// avmon knobs.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Everything in the fixed header after the magic.
 struct FileHeader {

@@ -73,6 +73,32 @@ TEST(AgedAvailabilityTest, EstimatesAreQuerierIndependent) {
   EXPECT_DOUBLE_EQ(*svc.query(0, 1), *svc.query(1, 1));
 }
 
+TEST(AgedAvailabilityTest, StaysOffTheParallelPlanPath) {
+  // The EWMA cells mutate on the query path, so the service must keep
+  // reporting concurrentReadSafe() == false (the engine then plans
+  // serially) — and a noisy wrapper over it must inherit the false.
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService aged(t, sim, 0.1);
+  EXPECT_FALSE(aged.concurrentReadSafe());
+  NoisyAvailabilityService noisy(aged, sim, 0.05,
+                                 sim::SimDuration::minutes(20), 7);
+  EXPECT_FALSE(noisy.concurrentReadSafe());
+}
+
+TEST(AgedAvailabilityTest, ClampsToUnitInterval) {
+  const auto t = stepTrace();
+  sim::Simulator sim;
+  AgedAvailabilityService svc(t, sim, 0.9);
+  sim.runUntil(sim::SimTime::minutes(20 * 190));
+  for (net::NodeIndex h = 0; h < 2; ++h) {
+    const auto v = svc.query(0, h);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GE(*v, 0.0);
+    EXPECT_LE(*v, 1.0);
+  }
+}
+
 TEST(CentralizedAvailabilityTest, RejectsNonPositivePeriod) {
   const auto t = stepTrace();
   sim::Simulator sim;

@@ -75,6 +75,42 @@ TEST(NoisyServiceTest, DeterministicPerQuerierAndBucket) {
   EXPECT_GT(disagreements, 10);
 }
 
+TEST(NoisyServiceTest, ErrorIsDeterministicPerQuerierTargetBucket) {
+  const auto t = makeTrace();
+  sim::Simulator sim;
+  OracleAvailabilityService oracle(t, sim);
+  NoisyAvailabilityService noisy(oracle, sim, 0.05,
+                                 sim::SimDuration::minutes(20), 99);
+  sim.runUntil(sim::SimTime::hours(10));
+
+  // Repeated queries of the same (querier, target) in one bucket are
+  // bit-identical, and the error sample depends on the *target* too: the
+  // same querier generally draws different perturbations per target.
+  for (net::NodeIndex q = 0; q < 10; ++q) {
+    EXPECT_DOUBLE_EQ(*noisy.query(q, 1), *noisy.query(q, 1));
+    EXPECT_DOUBLE_EQ(*noisy.query(q, 2), *noisy.query(q, 2));
+  }
+  int targetDependent = 0;
+  for (net::NodeIndex q = 0; q < 20; ++q) {
+    const double err1 = *noisy.query(q, 1) - *oracle.query(q, 1);
+    const double err2 = *noisy.query(q, 2) - *oracle.query(q, 2);
+    if (err1 != err2) ++targetDependent;
+  }
+  EXPECT_GT(targetDependent, 10);
+}
+
+TEST(NoisyServiceTest, ConcurrentReadSafeDelegatesToInner) {
+  const auto t = makeTrace();
+  sim::Simulator sim;
+  // Oracle reads are concurrency-safe; the pure-function perturbation
+  // inherits that.
+  OracleAvailabilityService oracle(t, sim);
+  NoisyAvailabilityService overOracle(oracle, sim, 0.05,
+                                      sim::SimDuration::minutes(20), 99);
+  EXPECT_TRUE(oracle.concurrentReadSafe());
+  EXPECT_TRUE(overOracle.concurrentReadSafe());
+}
+
 TEST(NoisyServiceTest, AnswersChangeOnlyAtBucketBoundaries) {
   const auto t = makeTrace();
   sim::Simulator sim;

@@ -1,0 +1,116 @@
+// Equivalence gate for the PR 9 AVMON refactor: the lazy, plan/commit,
+// frozen-counter implementation must answer exactly what the legacy
+// eager-map implementation answered, at the paper's own scale (1442
+// hosts, SHA-1 monitor hash, 7-day Overnet trace). The legacy semantics
+// are reproduced here as a pure reference: counters are a function of the
+// trace over the folded epochs, and a query pools the reachable monitors'
+// counters in ascending monitor order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "avmon/avmon_monitors.hpp"
+#include "trace/overnet_generator.hpp"
+
+namespace avmem::avmon {
+namespace {
+
+constexpr std::uint32_t kHosts = 1442;  // the Middleware 2007 population
+
+class LegacyEquivalenceTest : public ::testing::Test {
+ protected:
+  LegacyEquivalenceTest() {
+    trace::OvernetTraceConfig cfg;
+    cfg.hosts = kHosts;
+    cfg.epochs = 504;  // 7 days at 20-minute epochs, the paper's trace
+    trace_ = std::make_unique<trace::ChurnTrace>(
+        trace::generateOvernetTrace(cfg));
+    ids_ = core::makeNodeIds(kHosts, 5);
+    AvmonConfig acfg;  // paper defaults: k = 8, SHA-1
+    system_ = std::make_unique<AvmonSystem>(*trace_, sim_, ids_, acfg);
+    system_->start();
+  }
+
+  /// Legacy monitor set: every m with H(m, t) under the threshold,
+  /// ascending — recomputed independently of the memoized table.
+  std::vector<net::NodeIndex> referenceMonitors(net::NodeIndex t) const {
+    std::vector<net::NodeIndex> out;
+    for (net::NodeIndex m = 0; m < kHosts; ++m) {
+      if (system_->isMonitor(m, t)) out.push_back(m);
+    }
+    return out;
+  }
+
+  /// Legacy query: pool (up, samples) over reachable informed monitors in
+  /// ascending order — the exact accumulation the old map-based
+  /// implementation performed.
+  std::optional<double> referenceQuery(net::NodeIndex querier,
+                                       net::NodeIndex target,
+                                       std::uint64_t folded) const {
+    double up = 0.0;
+    double samples = 0.0;
+    for (const net::NodeIndex m : referenceMonitors(target)) {
+      if (m != querier && !trace_->onlineAt(m, sim_.now())) continue;
+      std::uint32_t s = 0;
+      std::uint32_t u = 0;
+      for (std::uint64_t e = 0; e < folded; ++e) {
+        if (!trace_->onlineInEpoch(m, e)) continue;
+        ++s;
+        if (trace_->onlineInEpoch(target, e)) ++u;
+      }
+      if (s == 0) continue;
+      up += u;
+      samples += s;
+    }
+    if (samples == 0.0) return std::nullopt;
+    return up / samples;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<trace::ChurnTrace> trace_;
+  std::vector<core::NodeId> ids_;
+  std::unique_ptr<AvmonSystem> system_;
+};
+
+TEST_F(LegacyEquivalenceTest, AnswersMatchLegacyAtPaperScale) {
+  // Half the probed targets materialize before any fold (they advance
+  // through the epoch-fold commit path), half only at query time (the
+  // catch-up path) — both must land on the same legacy answers.
+  std::vector<net::NodeIndex> targets;
+  for (net::NodeIndex t = 17; targets.size() < 40; t += 37) {
+    targets.push_back(t % kHosts);
+  }
+  for (std::size_t i = 0; i < targets.size() / 2; ++i) {
+    (void)system_->monitorsOf(targets[i]);
+  }
+
+  sim_.runUntil(sim::SimTime::days(2));
+  const std::uint64_t folded = system_->advancedEpochs();
+  ASSERT_EQ(folded, 144u);  // 2 days of 20-minute boundaries
+
+  AvmonAvailabilityService svc(*system_);
+  for (const net::NodeIndex t : targets) {
+    EXPECT_EQ(system_->monitorsOf(t), referenceMonitors(t))
+        << "monitor relation diverged for target " << t;
+    for (const net::NodeIndex querier :
+         {net::NodeIndex((t + 1) % kHosts), net::NodeIndex(0)}) {
+      const auto got = svc.query(querier, t);
+      const auto want = referenceQuery(querier, t, folded);
+      EXPECT_EQ(got, want) << "querier " << querier << " target " << t;
+    }
+  }
+}
+
+TEST_F(LegacyEquivalenceTest, FoldCursorTracksLegacyEpochClamp) {
+  // The legacy lazy advance clamped its "current epoch" to epochCount-1;
+  // the fold cursor must stop at exactly the same ceiling when a run
+  // outlives the trace.
+  sim_.runUntil(sim::SimTime::days(10));  // trace is 7 days long
+  EXPECT_EQ(system_->advancedEpochs(), 503u);
+  EXPECT_FALSE(system_->epochTask().running());
+}
+
+}  // namespace
+}  // namespace avmem::avmon

@@ -1,0 +1,199 @@
+// AVMON's wire seam: epoch-fold pings billed into NetworkStats and
+// consulted against the fault injector's kPing lane (PR 9). The counters
+// here are derived independently from the trace, so a billing regression
+// (double-count, missed pong, catch-up billing) fails arithmetically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "avmon/avmon_monitors.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace avmem::avmon {
+namespace {
+
+constexpr std::size_t kHosts = 60;
+constexpr std::size_t kEpochs = 40;
+
+/// Deterministic churn: host h is offline in epoch e iff (h + e) % 3 == 0
+/// — every host flaps, every epoch has about a third of the world down.
+trace::ChurnTrace makeTrace() {
+  std::vector<std::vector<std::uint8_t>> rows(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      rows[h].push_back((h + e) % 3 == 0 ? 0 : 1);
+    }
+  }
+  return trace::ChurnTrace(std::move(rows), sim::SimDuration::minutes(20));
+}
+
+class AvmonWireTest : public ::testing::Test {
+ protected:
+  AvmonWireTest()
+      : trace_(makeTrace()), ids_(core::makeNodeIds(kHosts, 9)) {}
+
+  void buildNetwork(fault::FaultInjector* injector) {
+    network_ = std::make_unique<net::Network>(
+        sim_, [this](net::NodeIndex n) { return trace_.onlineAt(n, sim_.now()); },
+        std::make_unique<net::ConstantLatency>(sim::SimDuration::millis(1)),
+        sim::Rng(7));
+    network_->setFaultInjector(injector);
+  }
+
+  std::unique_ptr<AvmonSystem> buildSystem() {
+    AvmonConfig acfg;
+    acfg.expectedMonitorsPerTarget = 6.0;
+    auto system = std::make_unique<AvmonSystem>(trace_, sim_, ids_, acfg);
+    system->attachWire(network_.get());
+    system->start();
+    return system;
+  }
+
+  sim::Simulator sim_;
+  trace::ChurnTrace trace_;
+  std::vector<core::NodeId> ids_;
+  std::unique_ptr<net::Network> network_;
+};
+
+TEST_F(AvmonWireTest, PingBillingMatchesTraceDerivation) {
+  buildNetwork(nullptr);
+  auto system = buildSystem();
+
+  // Materialize every cell up front so each of the first 10 folds bills
+  // the full monitor relation (no catch-up involved).
+  for (net::NodeIndex t = 0; t < kHosts; ++t) (void)system->monitorsOf(t);
+  sim_.runUntil(sim::SimTime::minutes(20 * 10 + 1));
+  ASSERT_EQ(system->advancedEpochs(), 10u);
+
+  // Independent derivation: one ping per (online monitor, target, epoch);
+  // a pong comes back iff the target was up that epoch.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  for (std::size_t e = 0; e < 10; ++e) {
+    for (net::NodeIndex t = 0; t < kHosts; ++t) {
+      for (const net::NodeIndex m : system->monitorsOf(t)) {
+        if (!trace_.onlineInEpoch(m, e)) continue;
+        ++sent;
+        if (trace_.onlineInEpoch(t, e)) ++delivered;
+      }
+    }
+  }
+  ASSERT_GT(sent, 0u);
+
+  const AvmonSystem::PingStats& ps = system->pingStats();
+  EXPECT_EQ(ps.sent, sent);
+  EXPECT_EQ(ps.delivered, delivered);
+  EXPECT_EQ(ps.lostToFaults, 0u);
+  EXPECT_EQ(ps.bytes, sent * AvmonSystem::kPingBytes +
+                          delivered * net::Network::kAckBytes);
+
+  // The same bill landed in the shared wire accounting.
+  const net::NetworkStats& ws = network_->stats();
+  EXPECT_EQ(ws.sent, sent);
+  EXPECT_EQ(ws.delivered, delivered);
+  EXPECT_EQ(ws.droppedOffline, sent - delivered);
+  EXPECT_EQ(ws.acksSent, delivered);
+  EXPECT_EQ(ws.bytesSent, ps.bytes);
+  EXPECT_EQ(ws.injectedDrops, 0u);
+}
+
+TEST_F(AvmonWireTest, InjectedDropsEatSamples) {
+  // A total-loss window covering the whole run: every ping is dropped,
+  // so no sample ever lands and every query stays unanswered.
+  fault::FaultInjector injector(fault::parseFaultPlanText(
+      "[loss]\nfrom_h = 0\nto_h = 1000\ndrop = 1.0\n"));
+  buildNetwork(&injector);
+  auto system = buildSystem();
+
+  for (net::NodeIndex t = 0; t < kHosts; ++t) (void)system->monitorsOf(t);
+  sim_.runUntil(sim::SimTime::minutes(20 * 10 + 1));
+
+  const AvmonSystem::PingStats& ps = system->pingStats();
+  ASSERT_GT(ps.sent, 0u);
+  EXPECT_EQ(ps.lostToFaults, ps.sent);
+  EXPECT_EQ(ps.delivered, 0u);
+  EXPECT_EQ(network_->stats().injectedDrops, ps.sent);
+  EXPECT_EQ(network_->stats().delivered, 0u);
+
+  AvmonAvailabilityService svc(*system);
+  for (net::NodeIndex t = 0; t < kHosts; ++t) {
+    EXPECT_FALSE(svc.query((t + 1) % kHosts, t).has_value());
+  }
+}
+
+TEST_F(AvmonWireTest, CatchUpCountersAreInjectorFreeAndUnbilled) {
+  // Under total loss, a target materialized up front accumulates nothing;
+  // one materialized later catches up from the pure trace — the monitors
+  // were pinging before anyone asked, and re-billing (or re-dropping)
+  // that history would make results depend on query order.
+  fault::FaultInjector injector(fault::parseFaultPlanText(
+      "[loss]\nfrom_h = 0\nto_h = 1000\ndrop = 1.0\n"));
+  buildNetwork(&injector);
+  auto system = buildSystem();
+
+  const net::NodeIndex early = 3;
+  (void)system->monitorsOf(early);
+  sim_.runUntil(sim::SimTime::minutes(20 * 10 + 1));
+  const std::uint64_t billedBefore = system->pingStats().sent;
+
+  const net::NodeIndex late = 4;
+  ASSERT_FALSE(system->monitorsOf(late).empty());
+  EXPECT_EQ(system->pingStats().sent, billedBefore);  // catch-up: no bill
+
+  std::uint64_t earlySamples = 0;
+  for (const net::NodeIndex m : system->monitorsOf(early)) {
+    earlySamples += system->monitorCounters(m, early).samples;
+  }
+  std::uint64_t lateSamples = 0;
+  for (const net::NodeIndex m : system->monitorsOf(late)) {
+    lateSamples += system->monitorCounters(m, late).samples;
+  }
+  EXPECT_EQ(earlySamples, 0u);  // every live ping was dropped
+  EXPECT_GT(lateSamples, 0u);   // history replayed injector-free
+}
+
+TEST_F(AvmonWireTest, DuplicatedPingsAreDeliveryAccountingOnly) {
+  // duplicate = 1.0, drop = 0: every ping is doubled on the wire but a
+  // sample still lands exactly once, so estimate counters match the
+  // fault-free run while delivered/droppedOffline double.
+  fault::FaultInjector injector(fault::parseFaultPlanText(
+      "[loss]\nfrom_h = 0\nto_h = 1000\nduplicate = 1.0\n"));
+  buildNetwork(&injector);
+  auto system = buildSystem();
+
+  for (net::NodeIndex t = 0; t < kHosts; ++t) (void)system->monitorsOf(t);
+  sim_.runUntil(sim::SimTime::minutes(20 * 10 + 1));
+
+  const AvmonSystem::PingStats& ps = system->pingStats();
+  ASSERT_GT(ps.sent, 0u);
+  EXPECT_EQ(ps.lostToFaults, 0u);
+  const net::NetworkStats& ws = network_->stats();
+  EXPECT_EQ(ws.duplicated, ps.sent);
+  EXPECT_EQ(ws.delivered, 2 * ps.delivered);
+  EXPECT_EQ(ws.droppedOffline, 2 * (ps.sent - ps.delivered));
+
+  // Counters (and thus estimates) are unchanged by duplication.
+  for (net::NodeIndex t = 0; t < kHosts; ++t) {
+    for (const net::NodeIndex m : system->monitorsOf(t)) {
+      const AvmonSystem::EstimateCell cell = system->monitorCounters(m, t);
+      std::uint32_t samples = 0;
+      std::uint32_t up = 0;
+      for (std::size_t e = 0; e < cell.nextEpoch; ++e) {
+        if (!trace_.onlineInEpoch(m, e)) continue;
+        ++samples;
+        if (trace_.onlineInEpoch(t, e)) ++up;
+      }
+      EXPECT_EQ(cell.samples, samples);
+      EXPECT_EQ(cell.up, up);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avmem::avmon

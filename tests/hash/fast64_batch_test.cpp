@@ -89,5 +89,72 @@ TEST(Fast64BatchTest, HashManyMatchesOneAtEveryLength) {
   }
 }
 
+TEST(Fast64TargetBatchTest, RawMatchesFast64PairBitForBit) {
+  // The transposed kernel: right identifier fixed, left varies (the AVMON
+  // monitor-materialization scan shape).
+  sim::Rng rng(17);
+  constexpr std::array<std::uint64_t, 4> kSeeds{
+      0, 1, kFast64DefaultSeed, 0xFFFFFFFFFFFFFFFFull};
+  for (const std::uint64_t seed : kSeeds) {
+    for (int k = 0; k < 200; ++k) {
+      const core::NodeId x = randomId(rng);
+      const core::NodeId y = randomId(rng);
+      const Fast64TargetBatch batch(seed, fast64Tail6(y.ip, y.port));
+      const std::uint64_t expected = fast64Pair(seed, x.bytes(), y.bytes());
+      EXPECT_EQ(batch.raw(fast64Tail6(x.ip, x.port)), expected)
+          << "seed " << seed << " pair " << k;
+    }
+  }
+}
+
+TEST(Fast64TargetBatchTest, OneMatchesPairHasher) {
+  const std::uint64_t seed = 42;
+  const PairHasher hasher(PairHashAlgorithm::kFast64, seed);
+  sim::Rng rng(19);
+  for (int k = 0; k < 200; ++k) {
+    const core::NodeId x = randomId(rng);
+    const core::NodeId y = randomId(rng);
+    const Fast64TargetBatch batch(seed, fast64Tail6(y.ip, y.port));
+    const double got = batch.one(fast64Tail6(x.ip, x.port));
+    const double expected = hasher(x.bytes(), y.bytes());
+    EXPECT_EQ(got, expected) << "pair " << k;
+  }
+}
+
+TEST(Fast64TargetBatchTest, HashManyMatchesOneAtEveryLength) {
+  const std::uint64_t seed = 99;
+  sim::Rng rng(23);
+  const core::NodeId y = randomId(rng);
+  const Fast64TargetBatch batch(seed, fast64Tail6(y.ip, y.port));
+  for (const std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 16u, 31u, 257u}) {
+    std::vector<std::uint64_t> tails(n);
+    for (auto& t : tails) {
+      const core::NodeId x = randomId(rng);
+      t = fast64Tail6(x.ip, x.port);
+    }
+    std::vector<double> out(n, -1.0);
+    batch.hashMany(tails, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], batch.one(tails[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Fast64TargetBatchTest, AgreesWithPairBatchTranspose) {
+  // The two kernels are transposes of the same function: fixing x in one
+  // and y in the other must land on the identical H(x, y).
+  const std::uint64_t seed = kFast64DefaultSeed;
+  sim::Rng rng(29);
+  for (int k = 0; k < 100; ++k) {
+    const core::NodeId x = randomId(rng);
+    const core::NodeId y = randomId(rng);
+    const Fast64PairBatch left(seed, fast64Tail6(x.ip, x.port));
+    const Fast64TargetBatch right(seed, fast64Tail6(y.ip, y.port));
+    EXPECT_EQ(left.raw(fast64Tail6(y.ip, y.port)),
+              right.raw(fast64Tail6(x.ip, x.port)))
+        << "pair " << k;
+  }
+}
+
 }  // namespace
 }  // namespace avmem::hashing

@@ -53,6 +53,16 @@ INVARIANT_KEYS = (
     "injected_drops",
     "anycasts",
     "delivered_fraction",
+    # AVMON overlay columns: the substrate choice, estimate accuracy vs
+    # the oracle, and ping-traffic billing are all simulation results —
+    # zeros under the oracle backend, but never thread-variant.
+    "avail_backend",
+    "avmon_mae",
+    "avmon_p99_err",
+    "avmon_coverage",
+    "pings_sent",
+    "pings_delivered",
+    "ping_bytes",
 )
 
 # Wall-clock measurements, the knobs a comparison deliberately varies

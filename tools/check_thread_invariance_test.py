@@ -73,6 +73,13 @@ def point(**overrides):
         "anycasts": 10,
         "delivered_fraction": 1.0,
         "batch_s": 0.01,
+        "avail_backend": "avmon",
+        "avmon_mae": 0.0123,
+        "avmon_p99_err": 0.0456,
+        "avmon_coverage": 1.0,
+        "pings_sent": 88000,
+        "pings_delivered": 80000,
+        "ping_bytes": 3040000,
     }
     p.update(overrides)
     return p
@@ -200,6 +207,26 @@ class SchemaCoverageTest(unittest.TestCase):
             "injected_drops",
         ):
             self.assertIn(key, INVARIANT_KEYS)
+
+    def test_avmon_accuracy_columns_are_invariant(self):
+        # AVMON accuracy and ping-overhead columns are simulation
+        # results: a thread count changing the MAE or the ping bill is a
+        # plan/commit determinism bug.
+        for key in (
+            "avail_backend",
+            "avmon_mae",
+            "avmon_p99_err",
+            "avmon_coverage",
+            "pings_sent",
+            "pings_delivered",
+            "ping_bytes",
+        ):
+            self.assertIn(key, INVARIANT_KEYS)
+        failures, log = run_check(
+            [point()], [point(avmon_mae=0.9)]
+        )
+        self.assertEqual(failures, 1)
+        self.assertIn("avmon_mae", log)
 
 
 class ChaosSchemaTest(unittest.TestCase):
