@@ -72,6 +72,7 @@ class AgedAvailabilityService final : public AvailabilityService {
   const trace::AvailabilityModel& trace_;
   const sim::Simulator& sim_;
   double alpha_;
+  // detlint: allow(unordered-state) point queries only (operator[] per target); never iterated, ordering cannot escape
   std::unordered_map<NodeIndex, Cell> cells_;
 };
 

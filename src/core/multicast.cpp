@@ -1,6 +1,7 @@
 #include "core/multicast.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace avmem::core {
 
@@ -67,7 +68,15 @@ MulticastResult MulticastEngine::finalize(Handle handle) {
   result.reachedRange = op->reachedRange;
   result.eligible = op->eligible;
   sim::SimDuration last = sim::SimDuration::zero();
-  for (const auto& [node, d] : op->deliveries) {
+  // The deliveries map is unordered; iterate in ascending node order so
+  // deliveredNodes/deliveryLatencies come out identical across runs,
+  // library versions, and (eventually) shard layouts.
+  // detlint: allow(unordered-iter) copied out and sorted immediately below; iteration order cannot escape
+  std::vector<std::pair<NodeIndex, Delivery>> ordered(op->deliveries.begin(),
+                                                      op->deliveries.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [node, d] : ordered) {
     if (d.inRange) {
       ++result.delivered;
       result.deliveredNodes.push_back(node);

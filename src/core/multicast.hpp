@@ -130,6 +130,7 @@ class MulticastEngine {
     bool reachedRange = false;
     std::size_t eligible = 0;
     /// node -> delivery record (presence = accepted the message once).
+    // detlint: allow(unordered-state) dedup membership + point queries; finalize() copies into a node-sorted vector before any order-sensitive use
     std::unordered_map<net::NodeIndex, Delivery> deliveries;
     /// Gossip tasks kept alive for the operation's duration.
     std::vector<std::shared_ptr<sim::PeriodicTask>> gossipTasks;
@@ -149,6 +150,7 @@ class MulticastEngine {
   std::function<double(net::NodeIndex)> groundTruthAv_;
   sim::Rng rng_;
   Handle nextHandle_ = 1;
+  // detlint: allow(unordered-state) keyed find/emplace/erase by handle only; never iterated, ordering cannot escape
   std::unordered_map<Handle, std::shared_ptr<Operation>> operations_;
 };
 

@@ -143,6 +143,7 @@ class CachingPairHasher {
 
  private:
   PairHasher hasher_;
+  // detlint: allow(unordered-state) memoization cache hit by find/emplace only; values are pure functions of the key, so lookup order is immaterial and iteration never happens
   std::unordered_map<std::uint64_t, double> cache_;
 };
 

@@ -217,6 +217,7 @@ class ShuffleChannel {
     s.heap = heap_;
     s.arena = arena_;
     s.liveEntries = liveEntries_;
+    // detlint: allow(unordered-iter) copied out and sorted on the next line; snapshot bytes see ascending seq order
     s.awaitingAck.assign(awaitingAck_.begin(), awaitingAck_.end());
     std::sort(s.awaitingAck.begin(), s.awaitingAck.end());
     s.nextSeq = nextSeq_;
@@ -553,6 +554,7 @@ class ShuffleChannel {
   std::vector<ShuffleDelivery> deliveries_;
   std::vector<ShuffleMsg> requestRecords_;
   std::vector<ShuffleRequestOutcome> outcomes_;
+  // detlint: allow(unordered-state) membership test + erase by seq only; saveState() snapshots it through a sorted vector, so ordering never reaches snapshot bytes
   std::unordered_set<std::uint64_t> awaitingAck_;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextOrder_ = 0;

@@ -8,7 +8,11 @@ std::string SimTime::toString() const {
   char buf[64];
   const std::int64_t us = us_;
   if (us < 0) {
-    return "-" + SimTime::micros(-us).toString();
+    // Concatenate via an lvalue: the rvalue overload of operator+ goes
+    // through basic_string::insert, which trips GCC 12's spurious
+    // -Wrestrict at -O2 (PR105329) and breaks -Werror builds.
+    const std::string positive = SimTime::micros(-us).toString();
+    return "-" + positive;
   }
   if (us < 1000) {
     std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));

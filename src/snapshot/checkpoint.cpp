@@ -304,14 +304,6 @@ struct ArmRequest {
 /// The simulation's availability model may be wrapped in a fault-plan
 /// outage overlay; backend-specific state (the Markov cursor cache)
 /// lives on the inner model either way.
-const trace::AvailabilityModel* unwrapOverlay(
-    const trace::AvailabilityModel* m) {
-  if (const auto* ov = dynamic_cast<const fault::OutageOverlayModel*>(m)) {
-    return &ov->inner();
-  }
-  return m;
-}
-
 trace::AvailabilityModel* unwrapOverlay(trace::AvailabilityModel* m) {
   if (auto* ov = dynamic_cast<fault::OutageOverlayModel*>(m)) {
     return &ov->inner();

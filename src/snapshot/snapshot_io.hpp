@@ -228,8 +228,12 @@ class Cursor {
     if (len > remaining()) {
       throw CheckpointFormatError("checkpoint section: truncated payload");
     }
-    std::memcpy(dst, data_ + pos_, len);
-    pos_ += len;
+    // raw<T>() of an empty array hands us the null data() of an empty
+    // vector; memcpy's arguments are declared nonnull even for len 0.
+    if (len > 0) {
+      std::memcpy(dst, data_ + pos_, len);
+      pos_ += len;
+    }
   }
 
   const std::uint8_t* data_;

@@ -1,0 +1,60 @@
+// detlint selftest fixture: every violation here is deliberate.
+// Seeded violations: plan-purity (non-const plan method without a lane
+// parameter; network send from a plan body; send from a worker-pool
+// plan callback). This TU is never compiled by the main build.
+
+struct MaintenancePlan {
+  int adds = 0;
+};
+
+struct Network {
+  void send(int dst, int payload);
+  void sendWithAck(int dst, int payload);
+  bool isOnline(int node) const;
+};
+
+struct WorkerPool {
+  template <typename F>
+  void run(F&& f);
+};
+
+class Engine {
+ public:
+  // VIOLATION: non-const plan method, no lane/plan output parameter.
+  void planDrift(int round) {
+    drift_ += round;
+  }
+
+  // VIOLATION: plan phase calls Network::send.
+  void planProbe(int node, MaintenancePlan& plan) const {
+    if (network_.isOnline(node)) {
+      network_.send(node, 42);
+    }
+    (void)plan;
+  }
+
+  // OK: const plan method that only reads shared state.
+  void planLook(int node, MaintenancePlan& plan) const {
+    if (network_.isOnline(node)) {
+      plan.adds += 1;
+    }
+  }
+
+  // OK: non-const, but writes only its own lane.
+  void planExchange(int initiator, unsigned long lane) {
+    lanes_[lane] = initiator;
+  }
+
+  void dispatch(WorkerPool& pool) {
+    // VIOLATION: worker-pool plan callback sends on the network.
+    auto planOne = [this](int i) {
+      network_.sendWithAck(i, 7);
+    };
+    pool.run(planOne);
+  }
+
+ private:
+  mutable Network network_;
+  int drift_ = 0;
+  int lanes_[8] = {};
+};

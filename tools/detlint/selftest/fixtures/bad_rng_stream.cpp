@@ -1,0 +1,64 @@
+// detlint selftest fixture: every violation here is deliberate.
+// Seeded violations: rng-stream (raw Rng construction in a plan body,
+// fork() in a plan body, sequential draws from a member generator).
+// This TU is never compiled by the main build.
+
+#include <cstdint>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : s_(seed) {}
+  static Rng stream(std::uint64_t seed, std::uint64_t salt,
+                    std::uint64_t seq);
+  Rng fork(std::uint64_t label, std::uint64_t idx);
+  std::uint64_t next();
+  double uniform();
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  std::uint64_t s_;
+};
+}  // namespace sim
+
+struct MaintenancePlan {
+  std::uint64_t draws = 0;
+};
+
+class Chooser {
+ public:
+  // VIOLATION: raw Rng construction inside a plan path.
+  void planPickRaw(int node, MaintenancePlan& plan) const {
+    sim::Rng rng(static_cast<std::uint64_t>(node));
+    plan.draws += rng.next();
+  }
+
+  // VIOLATION: fork() inside a plan path.
+  void planPickFork(int node, MaintenancePlan& plan) const {
+    plan.draws += seedRng_.fork(1, static_cast<std::uint64_t>(node)).next();
+  }
+
+  // VIOLATION: sequential draw from a member generator in a plan path.
+  void planPickMember(int node, MaintenancePlan& plan) const {
+    plan.draws += rng_.below(static_cast<std::uint64_t>(node) + 1);
+  }
+
+  // OK: counter-based stream, drawn locally.
+  void planPickStream(int node, MaintenancePlan& plan) const {
+    sim::Rng rng = sim::Rng::stream(seed_, static_cast<std::uint64_t>(node),
+                                    round_);
+    plan.draws += rng.next();
+  }
+
+  // OK: commit phase may use the member generator sequentially.
+  void commitPick(int node) {
+    last_ = rng_.below(static_cast<std::uint64_t>(node) + 1);
+  }
+
+ private:
+  mutable sim::Rng rng_{1};
+  mutable sim::Rng seedRng_{2};
+  std::uint64_t seed_ = 3;
+  std::uint64_t round_ = 0;
+  std::uint64_t last_ = 0;
+};

@@ -1,0 +1,135 @@
+// detlint selftest fixture: a TU that exercises every pattern detlint
+// inspects and must produce ZERO findings. Legitimate idioms the lint
+// must not flag: const plan methods, lane-writer plan methods,
+// Rng::stream draws, steady_clock host timing, point queries into an
+// unordered map held as a local, symmetric write/read ledgers, and a
+// fully-paired SavedState. This TU is never compiled by the main build.
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : s_(seed) {}
+  static Rng stream(std::uint64_t seed, std::uint64_t salt,
+                    std::uint64_t seq);
+  std::uint64_t next();
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  std::uint64_t s_;
+};
+}  // namespace sim
+
+struct MaintenancePlan {
+  std::uint64_t draws = 0;
+};
+
+struct SectionWriter {
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  template <typename T>
+  void raw(const T& v);
+};
+
+struct Cursor {
+  std::uint32_t u32();
+  std::uint64_t u64();
+  template <typename T>
+  T raw();
+};
+
+struct Network {
+  bool isOnline(int node) const;
+  void send(int dst, int payload);
+};
+
+class Engine {
+ public:
+  // Const plan method drawing from a counter stream: the blessed shape.
+  void planDiscovery(int node, MaintenancePlan& plan) const {
+    if (!network_.isOnline(node)) {
+      return;
+    }
+    sim::Rng rng = sim::Rng::stream(seed_, static_cast<std::uint64_t>(node),
+                                    round_);
+    plan.draws += rng.below(16);
+  }
+
+  // Non-const plan method that writes only its own lane buffer.
+  void planExchange(int initiator, unsigned long lane) {
+    lanes_[lane] = initiator;
+  }
+
+  // Commit phase: sequential member draws and network sends are fine.
+  void commitDiscovery(int node, const MaintenancePlan& plan) {
+    applied_ += plan.draws + rng_.next();
+    network_.send(node, 1);
+  }
+
+  // Host-perf timing with steady_clock is allowed (never simulation
+  // state).
+  double wallSeconds() const {
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  // Point queries into a local unordered map: no iteration, no finding.
+  static double lookupOnly(std::uint64_t key) {
+    std::unordered_map<std::uint64_t, double> cache;
+    cache.emplace(key, 1.0);
+    auto it = cache.find(key);
+    return it == cache.end() ? 0.0 : it->second;
+  }
+
+ private:
+  Network network_;
+  sim::Rng rng_{1};
+  std::uint64_t seed_ = 3;
+  std::uint64_t round_ = 0;
+  std::uint64_t applied_ = 0;
+  int lanes_[8] = {};
+};
+
+struct Wheel {
+  std::uint64_t slots = 0;
+  std::uint32_t cursor = 0;
+};
+
+// Symmetric write/read pair: identical ledgers including raw<T>.
+inline void writeWheel(SectionWriter& sec, const Wheel& wheel) {
+  sec.u64(wheel.slots);
+  sec.u32(wheel.cursor);
+  sec.raw<std::uint64_t>(wheel.slots);
+}
+
+inline Wheel readWheel(Cursor& cur) {
+  Wheel wheel;
+  wheel.slots = cur.u64();
+  wheel.cursor = cur.u32();
+  (void)cur.raw<std::uint64_t>();
+  return wheel;
+}
+
+class Counter {
+ public:
+  struct SavedState {
+    std::uint64_t ticks = 0;
+    std::uint64_t drops = 0;
+  };
+
+  SavedState saveState() const { return SavedState{ticks_, drops_}; }
+
+  void restoreState(const SavedState& s) {
+    ticks_ = s.ticks;
+    drops_ = s.drops;
+  }
+
+ private:
+  std::uint64_t ticks_ = 0;
+  std::uint64_t drops_ = 0;
+};

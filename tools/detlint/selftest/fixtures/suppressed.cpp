@@ -1,0 +1,26 @@
+// detlint selftest fixture: contains real violations, every one of
+// which carries a justified allow() — the file must report findings,
+// but zero UNSUPPRESSED findings. Exercises same-line and
+// preceding-line suppression placement and multi-check allows.
+// This TU is never compiled by the main build.
+
+#include <unordered_map>
+
+struct Telemetry {
+  // Same-line suppression on a member declaration.
+  std::unordered_map<int, double> cache_;  // detlint: allow(unordered-state) point queries only; never iterated, ordering cannot escape
+
+  double total() const {
+    double acc = 0.0;
+    // Preceding-line suppression covering the next code line.
+    // detlint: allow(unordered-iter) summed into a commutative total; order-insensitive by construction
+    for (const auto& kv : cache_) {
+      acc += kv.second;
+    }
+    return acc;
+  }
+
+  double first() const {
+    return cache_.begin()->second;  // detlint: allow(unordered-iter) diagnostics-only path, value never reaches committed state
+  }
+};
